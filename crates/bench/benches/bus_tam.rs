@@ -1,0 +1,113 @@
+//! Bus-TAM benchmarks and ablations: transaction throughput under
+//! contention, and the arbitration-policy ablation called out in
+//! DESIGN.md (FCFS vs round-robin vs priority on an identical workload).
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tve_sim::Simulation;
+use tve_tlm::{
+    AddrRange, ArbiterPolicy, BusConfig, BusTam, Command, InitiatorId, SinkTarget, TamIf, TamIfExt,
+};
+
+fn contended_run(policy: ArbiterPolicy, initiators: usize, txns: u64) -> u64 {
+    let mut sim = Simulation::new();
+    let h = sim.handle();
+    let bus = Rc::new(BusTam::new(
+        &h,
+        BusConfig {
+            policy,
+            ..BusConfig::default()
+        },
+    ));
+    bus.bind(AddrRange::new(0, 0x1000), Rc::new(SinkTarget::new("sink")))
+        .unwrap();
+    for i in 0..initiators {
+        let bus = Rc::clone(&bus);
+        sim.spawn(async move {
+            for k in 0..txns {
+                let bits = 32 + (k % 8) * 64;
+                bus.transfer_volume(InitiatorId(i as u8), Command::Write, 0, bits)
+                    .await
+                    .unwrap();
+            }
+        });
+    }
+    sim.run().cycles()
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus/contention");
+    g.sample_size(15);
+    for &initiators in &[1usize, 4, 16] {
+        let txns = 2000u64;
+        g.throughput(Throughput::Elements(initiators as u64 * txns));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(initiators),
+            &initiators,
+            |b, &n| {
+                b.iter(|| contended_run(ArbiterPolicy::Fcfs, n, txns));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_arbitration_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus/arbitration_ablation");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(8 * 2000));
+    for policy in [
+        ArbiterPolicy::Fcfs,
+        ArbiterPolicy::RoundRobin,
+        ArbiterPolicy::Priority,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| contended_run(policy, 8, 2000));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hierarchical_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bus/hierarchical");
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(5000));
+    g.bench_function("two_level", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let outer = Rc::new(BusTam::new(&h, BusConfig::default()));
+            let inner = Rc::new(BusTam::new(&h, BusConfig::default()));
+            inner
+                .bind(AddrRange::new(0, 0x100), Rc::new(SinkTarget::new("leaf")))
+                .unwrap();
+            outer
+                .bind(
+                    AddrRange::new(0, 0x1000),
+                    Rc::clone(&inner) as Rc<dyn TamIf>,
+                )
+                .unwrap();
+            let o = Rc::clone(&outer);
+            sim.spawn(async move {
+                for _ in 0..5000u32 {
+                    o.write(InitiatorId(0), 0, &[1], 32).await.unwrap();
+                }
+            });
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_contention,
+    bench_arbitration_ablation,
+    bench_hierarchical_routing
+);
+criterion_main!(benches);

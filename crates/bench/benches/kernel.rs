@@ -1,0 +1,108 @@
+//! Microbenchmarks of the discrete-event kernel: task throughput, timed
+//! wakeups, event notification and FIFO hand-off — the substrate costs
+//! behind every TLM simulation in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tve_sim::{Duration, Event, Fifo, Simulation};
+
+fn bench_timed_waits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/timed_waits");
+    g.sample_size(20);
+    for &tasks in &[1usize, 10, 100] {
+        let waits_per_task = 1000u64;
+        g.throughput(Throughput::Elements(tasks as u64 * waits_per_task));
+        g.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut sim = Simulation::new();
+                let h = sim.handle();
+                for i in 0..tasks {
+                    let h = h.clone();
+                    sim.spawn(async move {
+                        for k in 0..waits_per_task {
+                            h.wait(Duration::cycles(1 + (i as u64 + k) % 7)).await;
+                        }
+                    });
+                }
+                sim.run()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_notify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/event_notify");
+    g.sample_size(20);
+    for &waiters in &[1usize, 16, 256] {
+        g.throughput(Throughput::Elements(waiters as u64 * 100));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(waiters),
+            &waiters,
+            |b, &waiters| {
+                b.iter(|| {
+                    let mut sim = Simulation::new();
+                    let h = sim.handle();
+                    let ev = Event::new(&h);
+                    for _ in 0..waiters {
+                        let ev = ev.clone();
+                        sim.spawn(async move {
+                            for _ in 0..100 {
+                                ev.wait().await;
+                            }
+                        });
+                    }
+                    let h2 = h.clone();
+                    sim.spawn(async move {
+                        for _ in 0..100 {
+                            h2.wait(Duration::cycles(1)).await;
+                            ev.notify();
+                        }
+                    });
+                    sim.run()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fifo_handoff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/fifo_handoff");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("depth_8", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let q: Fifo<u64> = Fifo::new(&h, 8);
+            {
+                let q = q.clone();
+                sim.spawn(async move {
+                    for i in 0..10_000u64 {
+                        q.push(i).await;
+                    }
+                });
+            }
+            {
+                let q = q.clone();
+                let h = h.clone();
+                sim.spawn(async move {
+                    for _ in 0..10_000u64 {
+                        let _ = q.pop().await;
+                        h.wait(Duration::cycles(1)).await;
+                    }
+                });
+            }
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_timed_waits,
+    bench_event_notify,
+    bench_fifo_handoff
+);
+criterion_main!(benches);

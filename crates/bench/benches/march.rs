@@ -1,0 +1,76 @@
+//! Memory-test benchmarks: march engine throughput on the raw array and
+//! the algorithm ablation (ops/cell vs wall time across the library).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tve_memtest::{evaluate_coverage, Fault, MarchTest, MemoryArray, PatternTest};
+
+fn bench_march_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("march/engine");
+    g.sample_size(15);
+    for &words in &[1024usize, 16_384] {
+        let t = MarchTest::mats_plus();
+        g.throughput(Throughput::Elements(t.total_ops(words as u64)));
+        g.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &words| {
+            b.iter(|| {
+                let mut mem = MemoryArray::new(words);
+                MarchTest::mats_plus().run(&mut mem).passed()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_algorithm_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("march/algorithm_ablation");
+    g.sample_size(15);
+    let words = 4096usize;
+    for t in [
+        MarchTest::mats(),
+        MarchTest::mats_plus(),
+        MarchTest::mats_plus_plus(),
+        MarchTest::march_c_minus(),
+    ] {
+        g.throughput(Throughput::Elements(t.total_ops(words as u64)));
+        g.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, t| {
+            b.iter(|| {
+                let mut mem = MemoryArray::new(words);
+                t.run(&mut mem).passed()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_coverage_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("march/coverage_campaign");
+    g.sample_size(10);
+    let words = 256usize;
+    let faults: Vec<Fault> = (0..32u32)
+        .map(|k| match k % 3 {
+            0 => Fault::stuck_at(k % words as u32, (k % 32) as u8, k % 2 == 0),
+            1 => Fault::transition(k % words as u32, (k % 32) as u8, k % 2 == 0),
+            _ => Fault::address_alias(k % words as u32, (k * 7 + 1) % words as u32),
+        })
+        .collect();
+    g.throughput(Throughput::Elements(faults.len() as u64));
+    g.bench_function("mats_plus_with_patterns", |b| {
+        b.iter(|| {
+            evaluate_coverage(
+                &MarchTest::mats_plus(),
+                &[PatternTest::Checkerboard],
+                words,
+                &faults,
+            )
+            .coverage()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_march_engine,
+    bench_algorithm_ablation,
+    bench_coverage_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Microbenchmarks of the gate-level and NoC substrates: parallel-pattern
+//! evaluation and fault simulation throughput, ATPG, and mesh routing
+//! under contention.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tve_netlist::{full_fault_list, generate_test_set, Netlist};
+use tve_noc::{MeshConfig, MeshNoc, NodeId};
+use tve_sim::Simulation;
+use tve_tlm::{AddrRange, Command, InitiatorId, SinkTarget, TamIfExt};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist/eval64");
+    for &gates in &[200u32, 2000] {
+        let n = Netlist::random(32, gates, 4, 1);
+        let inputs: Vec<u64> = (0..32u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        g.throughput(Throughput::Elements(64 * gates as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
+            b.iter(|| n.output_words(&n.eval64(&inputs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist/fault_sim_batch");
+    g.sample_size(10);
+    for &gates in &[200u32, 1000] {
+        let n = Netlist::random(32, gates, 4, 2);
+        let faults = full_fault_list(&n);
+        let inputs: Vec<u64> = (0..32u64).map(|i| i.wrapping_mul(0xDEAD_BEEF)).collect();
+        g.throughput(Throughput::Elements(faults.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(gates), &n, |b, n| {
+            b.iter(|| {
+                let mut detected = vec![false; faults.len()];
+                tve_netlist::fault_sim_batch(n, &inputs, u64::MAX, &faults, &mut detected);
+                detected.iter().filter(|&&d| d).count()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist/atpg");
+    g.sample_size(10);
+    let n = Netlist::random(24, 400, 4, 3);
+    let faults = full_fault_list(&n);
+    g.bench_function("generate_compact_set", |b| {
+        b.iter(|| generate_test_set(&n, &faults, 640, 7).patterns.len());
+    });
+    g.finish();
+}
+
+fn bench_mesh_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc/mesh_contention");
+    g.sample_size(10);
+    for &(cols, rows) in &[(2u32, 2u32), (4, 4)] {
+        let id = format!("{cols}x{rows}");
+        g.throughput(Throughput::Elements(2000));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(cols, rows),
+            |b, &(cols, rows)| {
+                b.iter(|| {
+                    let mut sim = Simulation::new();
+                    let noc = Rc::new(MeshNoc::new(
+                        &sim.handle(),
+                        MeshConfig {
+                            cols,
+                            rows,
+                            link_width_bits: 16,
+                            hop_overhead: 2,
+                        },
+                    ));
+                    noc.bind(
+                        NodeId::new(cols - 1, rows - 1),
+                        AddrRange::new(0, 0x100),
+                        Rc::new(SinkTarget::new("sink")),
+                    )
+                    .unwrap();
+                    for k in 0..4u32 {
+                        let port = noc.port(NodeId::new(k % cols, 0));
+                        sim.spawn(async move {
+                            for _ in 0..500u32 {
+                                port.transfer_volume(InitiatorId(k as u8), Command::Write, 0, 256)
+                                    .await
+                                    .unwrap();
+                            }
+                        });
+                    }
+                    sim.run()
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eval,
+    bench_fault_sim,
+    bench_atpg,
+    bench_mesh_routing
+);
+criterion_main!(benches);

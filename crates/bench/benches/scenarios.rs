@@ -1,0 +1,93 @@
+//! Scenario-level benchmarks: the Table I schedules at reduced scale
+//! (simulator performance on the real workload mix), plus design ablations
+//! from DESIGN.md — data policy (volume vs full), posted-queue depth of
+//! the memory BIST engine, and the monitor window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tve_core::DataPolicy;
+use tve_sim::Duration;
+use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
+
+fn scaled_config() -> SocConfig {
+    let mut c = SocConfig::paper();
+    c.memory_words = 2622; // scale memory with pattern counts
+    c
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario/table1_scaled");
+    g.sample_size(10);
+    let config = scaled_config();
+    let plan = SocTestPlan::paper_scaled(100);
+    for (i, schedule) in paper_schedules().into_iter().enumerate() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(i + 1),
+            &schedule,
+            |b, schedule| {
+                b.iter(|| run_scenario(&config, &plan, schedule).unwrap().total_cycles);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    // Volume vs full data on the same (miniature) workload: how much the
+    // exploration mode buys over bit-true validation.
+    let mut g = c.benchmark_group("scenario/data_policy_ablation");
+    g.sample_size(10);
+    for policy in [DataPolicy::Volume, DataPolicy::Full] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, &policy| {
+                let mut config = SocConfig::small();
+                config.memory_words = 256;
+                config.policy = policy;
+                let plan = SocTestPlan {
+                    policy,
+                    bist_proc_patterns: 200,
+                    det_proc_patterns: 100,
+                    comp_proc_patterns: 50,
+                    bist_color_patterns: 100,
+                    det_dct_patterns: 100,
+                    ..SocTestPlan::small()
+                };
+                let schedule = &paper_schedules()[3];
+                b.iter(|| run_scenario(&config, &plan, schedule).unwrap().total_cycles);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_monitor_window_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario/monitor_window_ablation");
+    g.sample_size(10);
+    let plan = SocTestPlan::paper_scaled(200);
+    for &window in &[4096u64, 65_536, 1_048_576] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &window,
+            |b, &window| {
+                let mut config = scaled_config();
+                config.memory_words = 1311;
+                config.monitor_window = Duration::cycles(window);
+                let schedule = &paper_schedules()[2];
+                b.iter(|| {
+                    let m = run_scenario(&config, &plan, schedule).unwrap();
+                    (m.total_cycles, m.peak_utilization.to_bits())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedules,
+    bench_policy_ablation,
+    bench_monitor_window_ablation
+);
+criterion_main!(benches);

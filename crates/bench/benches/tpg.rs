@@ -1,0 +1,96 @@
+//! Pattern-generation microbenchmarks: LFSR stepping, PRPG pattern
+//! synthesis, MISR compaction, and the two materializing compression
+//! codecs (ablation: run-length vs LFSR reseeding on identical cubes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tve_tpg::{Compressor, Lfsr, Misr, Prpg, ReseedingCodec, RunLengthCodec, ScanConfig, TestCube};
+
+fn bench_lfsr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpg/lfsr");
+    g.throughput(Throughput::Elements(64_000));
+    g.bench_function("step_word_64x1000", |b| {
+        let mut lfsr = Lfsr::maximal(32, 0xACE1).unwrap();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc ^= lfsr.step_word(64);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_prpg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpg/prpg");
+    g.sample_size(30);
+    for &(chains, len) in &[(8u32, 128u32), (32, 1296)] {
+        let cfg = ScanConfig::new(chains, len);
+        g.throughput(Throughput::Elements(cfg.bits_per_pattern()));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{chains}x{len}")),
+            &cfg,
+            |b, &cfg| {
+                let mut prpg = Prpg::new(32, 1, cfg).unwrap();
+                b.iter(|| prpg.next_pattern());
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_misr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpg/misr");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("absorb_10k", |b| {
+        b.iter(|| {
+            let mut misr = Misr::new(64, 32).unwrap();
+            for i in 0..10_000u64 {
+                misr.absorb(i.wrapping_mul(0x9E37_79B9));
+            }
+            misr.signature()
+        });
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let cfg = ScanConfig::new(8, 128); // 1024 bits/pattern
+    let cubes: Vec<TestCube> = (0..16).map(|s| TestCube::random(cfg, 24, s)).collect();
+    let mut g = c.benchmark_group("tpg/codec");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(cubes.len() as u64));
+
+    let rl = RunLengthCodec::new(cfg, 6).unwrap();
+    g.bench_function("run_length/compress", |b| {
+        b.iter(|| {
+            cubes
+                .iter()
+                .map(|cube| rl.compress(cube).unwrap().len())
+                .sum::<usize>()
+        });
+    });
+
+    let rs = ReseedingCodec::new(cfg, 48).unwrap();
+    g.bench_function("reseeding/compress", |b| {
+        b.iter(|| {
+            cubes
+                .iter()
+                .filter_map(|cube| rs.compress(cube).ok())
+                .count()
+        });
+    });
+    let streams: Vec<_> = cubes.iter().filter_map(|c| rs.compress(c).ok()).collect();
+    g.bench_function("reseeding/decompress", |b| {
+        b.iter(|| {
+            streams
+                .iter()
+                .map(|s| rs.decompress(s).unwrap().stimulus().count_ones())
+                .sum::<usize>()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lfsr, bench_prpg, bench_misr, bench_codecs);
+criterion_main!(benches);

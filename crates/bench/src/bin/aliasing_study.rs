@@ -1,0 +1,69 @@
+//! Empirical MISR aliasing study — the quantitative basis for the paper's
+//! note that "compaction may reduce the test responses down to a signature
+//! word": how often does a corrupted response stream still produce the
+//! golden signature, as a function of MISR size?
+//!
+//! Theory: for random error patterns, the aliasing probability of an
+//! n-stage MISR approaches 2⁻ⁿ. Usage: `aliasing_study [--trials N]`
+//! (default 200000).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tve_tpg::Misr;
+
+fn aliasing_rate(degree: u32, trials: u64, rng: &mut StdRng) -> (u64, f64) {
+    let slices = 24u32;
+    let mut aliases = 0u64;
+    for _ in 0..trials {
+        let mut good = Misr::new(degree, degree.min(32)).unwrap();
+        let mut bad = Misr::new(degree, degree.min(32)).unwrap();
+        let error_at = rng.gen_range(0..slices);
+        for k in 0..slices {
+            let w: u64 = rng.gen();
+            good.absorb(w);
+            // Inject a random non-zero error burst at one slice, plus a
+            // 25 % chance of follow-up corruption per later slice — the
+            // multi-error streams where aliasing actually occurs.
+            let corrupted = if k == error_at || (k > error_at && rng.gen_bool(0.25)) {
+                w ^ (rng.gen::<u64>() | 1)
+            } else {
+                w
+            };
+            bad.absorb(corrupted);
+        }
+        if good.signature() == bad.signature() {
+            aliases += 1;
+        }
+    }
+    (aliases, aliases as f64 / trials as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000u64);
+
+    let mut rng = StdRng::seed_from_u64(0xA11A5);
+    println!("MISR aliasing vs register size ({trials} corrupted streams each)\n");
+    println!(
+        "{:>8}  {:>10}  {:>14}  {:>14}",
+        "degree", "aliases", "measured", "theory 2^-n"
+    );
+    for degree in [8u32, 10, 12, 16, 24] {
+        let (aliases, rate) = aliasing_rate(degree, trials, &mut rng);
+        println!(
+            "{degree:>8}  {aliases:>10}  {:>14.2e}  {:>14.2e}",
+            rate,
+            2f64.powi(-(degree as i32))
+        );
+    }
+    println!(
+        "\nthe measured escape rate tracks 2^-n until the trial count runs \
+         out of resolution — why the case study's 64-stage wrapper MISRs \
+         make signature escapes negligible."
+    );
+}

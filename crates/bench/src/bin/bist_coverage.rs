@@ -1,0 +1,53 @@
+//! Random-pattern BIST fault-coverage curve — the quantitative rationale
+//! for the case study's pattern counts ("BIST of the full-scan processor
+//! core using 100,000 pseudo-random patterns"): coverage saturates, so the
+//! pattern count is chosen at the knee, not grown forever.
+//!
+//! Usage: `bist_coverage [--gates N] [--batches N]`
+//! (defaults: 2000 gates, 64 batches of 64 patterns).
+
+use tve_netlist::{full_fault_list, random_coverage_curve, Netlist};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: u32| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let gates = arg("--gates", 2000);
+    let batches = arg("--batches", 64);
+
+    let netlist = Netlist::random(64, gates, 8, 0xC0FFEE);
+    let faults = full_fault_list(&netlist);
+    println!(
+        "random-pattern stuck-at coverage: {netlist}, {} faults\n",
+        faults.len()
+    );
+    let curve = random_coverage_curve(&netlist, &faults, batches, 0xB157);
+    println!("{:>10}  {:>10}  {:>8}", "patterns", "coverage", "gain");
+    let mut prev = 0.0;
+    for (i, point) in curve.iter().enumerate() {
+        // Log-style sampling of the curve for readable output.
+        if i < 4 || (i + 1).is_power_of_two() || i + 1 == curve.len() {
+            println!(
+                "{:>10}  {:>9.2}%  {:>+7.3}%",
+                point.patterns,
+                point.coverage * 100.0,
+                (point.coverage - prev) * 100.0
+            );
+        }
+        prev = point.coverage;
+    }
+    let last = curve.last().expect("non-empty curve");
+    let half = &curve[curve.len() / 2];
+    println!(
+        "\nsaturation: the last {} patterns bought {:+.3}% — the knee sits \
+         well before the final pattern count, which is why a fixed large \
+         budget (the paper's 100k) is the right BIST design.",
+        last.patterns - half.patterns,
+        (last.coverage - half.coverage) * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Compression-ratio exploration: the paper's introduction names "the
+//! choice among a large number of test data compression schemes" as a
+//! decision the test engineer must explore. This harness sweeps the
+//! decompressor ratio and simulates schedule 2 (sequential, compressed)
+//! and schedule 4 (concurrent, compressed) at each point — showing where
+//! compression stops paying because the scan chains, not the ATE channel,
+//! become the bottleneck.
+//!
+//! Usage: `compression_sweep [--scale N]` (default 20).
+
+use tve_bench::format_row;
+use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(20);
+
+    let plan = SocTestPlan::paper_scaled(scale);
+    let schedules = paper_schedules();
+    println!(
+        "test time vs stimulus compression ratio (scale 1/{scale}; \
+         schedule 2 sequential, schedule 4 concurrent)\n"
+    );
+    let widths = [8usize, 22, 22, 14];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "ratio".into(),
+                "sched 2 (Mcycles)".into(),
+                "sched 4 (Mcycles)".into(),
+                "sched 4 peak".into(),
+            ],
+            &widths
+        )
+    );
+    let mut prev2 = f64::INFINITY;
+    for ratio in [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
+        let mut config = SocConfig::paper();
+        config.memory_words = (262_144 / scale as u32).max(64);
+        config.decompress_ratio = ratio;
+        let m2 = run_scenario(&config, &plan, &schedules[1]).expect("well-formed");
+        let m4 = run_scenario(&config, &plan, &schedules[3]).expect("well-formed");
+        assert!(m2.result.clean() && m4.result.clean());
+        println!(
+            "{}",
+            format_row(
+                &[
+                    format!("{ratio:.0}x"),
+                    format!("{:.2}", m2.total_cycles as f64 / 1e6),
+                    format!("{:.2}", m4.total_cycles as f64 / 1e6),
+                    format!("{:.0}%", m4.peak_utilization * 100.0),
+                ],
+                &widths
+            )
+        );
+        let t2 = m2.total_cycles as f64;
+        assert!(
+            t2 <= prev2 * 1.001,
+            "more compression must never lengthen the sequential schedule"
+        );
+        prev2 = t2;
+    }
+    println!(
+        "\nthe curve saturates once the compressed stream is thinner than \
+         the scan-shift bottleneck: beyond that, a stronger codec buys ATE \
+         storage, not test time — the knee the exploration is for."
+    );
+}

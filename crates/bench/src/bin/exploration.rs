@@ -1,0 +1,62 @@
+//! Scheduler design-space exploration harness: coarse estimation over
+//! candidate schedules, Pareto front, and simulation-based validation of
+//! the finalists — the full "test exploration and validation" loop of the
+//! paper's title, beyond the four hand-written schedules of Table I.
+//!
+//! Usage: `exploration [--power-budget N] [--scale N]`.
+
+use tve_sched::{estimate_tasks, explore, validate_schedule, Constraints};
+use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str, default: u64| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(default)
+    };
+    let power_budget = arg("--power-budget", 400) as u32;
+    let scale = arg("--scale", 20);
+
+    let config = SocConfig::paper();
+    let plan = SocTestPlan::paper();
+    let tasks = estimate_tasks(&config, &plan);
+
+    println!("task descriptions (coarse scheduler view):");
+    for t in &tasks {
+        println!(
+            "  {t}  [{}]",
+            t.resources
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let constraints = Constraints {
+        tam_capacity: 1.0,
+        power_budget,
+    };
+    let report = explore(&tasks, &constraints, &paper_schedules());
+    println!("\ncandidates under power budget {power_budget} (fastest first):");
+    for c in &report.candidates {
+        println!("  {c}");
+    }
+    println!("\nPareto front (test time x peak power):");
+    for c in report.pareto_front() {
+        println!("  {c}");
+    }
+
+    let sim_plan = SocTestPlan::paper_scaled(scale);
+    let sim_tasks = estimate_tasks(&config, &sim_plan);
+    println!("\nvalidating the top three by TLM simulation (1/{scale} scale):");
+    for c in report.candidates.iter().take(3) {
+        match validate_schedule(&config, &sim_plan, &sim_tasks, &c.schedule) {
+            Ok(v) => println!("  {:<34} {v}", c.schedule.name),
+            Err(e) => println!("  {:<34} invalid: {e}", c.schedule.name),
+        }
+    }
+}

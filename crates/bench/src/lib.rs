@@ -1,0 +1,48 @@
+//! # tve-bench — experiment harnesses and microbenchmarks
+//!
+//! Binaries regenerating the paper's evaluation artifacts:
+//!
+//! * `table1` — Table I (peak/avg TAM utilization, test length, CPU time
+//!   for the four schedules); pass `--scale N` to divide pattern counts.
+//! * `abstraction_sweep` — the Section IV speed claim (TLM vs RTL
+//!   granularity, cycles/second and extrapolated time for 300 Mcycles).
+//! * `exploration` — scheduler design-space exploration with
+//!   simulation-based validation (estimate vs simulated error).
+//!
+//! Criterion microbenchmarks live in `benches/` (kernel throughput, bus
+//! arbitration, pattern generation, march engine, scenario ablations).
+
+/// Formats a Table-I-style row for terminal output.
+pub fn format_row(cols: &[String], widths: &[usize]) -> String {
+    cols.iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Relative error `|measured - reference| / |reference|` in percent.
+pub fn rel_err_pct(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return 0.0;
+    }
+    ((measured - reference) / reference).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_formatting_aligns_right() {
+        let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(row, "  a    bb");
+    }
+
+    #[test]
+    fn relative_error() {
+        assert_eq!(rel_err_pct(110.0, 100.0), 10.0);
+        assert_eq!(rel_err_pct(90.0, 100.0), 10.0);
+        assert_eq!(rel_err_pct(5.0, 0.0), 0.0);
+    }
+}

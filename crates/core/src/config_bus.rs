@@ -1,0 +1,240 @@
+//! The configuration scan bus (Fig. 3/4): a serial ring through the
+//! configuration registers (WIRs, codec configs, EBI config) of all test
+//! infrastructure blocks.
+
+use std::fmt;
+use std::rc::Rc;
+
+use tve_sim::{Duration, SimHandle};
+
+/// A block with a configuration register on the scan ring.
+pub trait ConfigClient {
+    /// Client name for diagnostics.
+    fn name(&self) -> &str;
+    /// Register length in bits (its share of the ring).
+    fn config_len(&self) -> u32;
+    /// Loads a new register value (update phase of the ring rotation).
+    fn load_config(&self, value: u64);
+    /// Captures the current register value.
+    fn read_config(&self) -> u64;
+}
+
+/// The serial configuration scan ring.
+///
+/// Any access shifts the *entire* ring once (that is the point of a ring:
+/// one wire, all registers in series), so an access costs
+/// `ring length × clock divider` cycles. [`ConfigScanRing::write_all`]
+/// reconfigures every client in a single rotation — how the ATE sets up a
+/// concurrent test session.
+pub struct ConfigScanRing {
+    handle: SimHandle,
+    clients: Vec<Rc<dyn ConfigClient>>,
+    clock_div: u64,
+    rotations: std::cell::Cell<u64>,
+}
+
+impl fmt::Debug for ConfigScanRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConfigScanRing")
+            .field("clients", &self.clients.len())
+            .field("ring_length", &self.ring_length())
+            .field("rotations", &self.rotations.get())
+            .finish()
+    }
+}
+
+impl ConfigScanRing {
+    /// Creates a ring over `clients`, shifted at `1/clock_div` of the
+    /// system clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_div` is zero.
+    pub fn new(handle: &SimHandle, clients: Vec<Rc<dyn ConfigClient>>, clock_div: u64) -> Self {
+        assert!(clock_div > 0, "clock divider must be positive");
+        ConfigScanRing {
+            handle: handle.clone(),
+            clients,
+            clock_div,
+            rotations: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of clients on the ring.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Total ring length in bits.
+    pub fn ring_length(&self) -> u32 {
+        self.clients.iter().map(|c| c.config_len()).sum()
+    }
+
+    /// Completed ring rotations (diagnostics).
+    pub fn rotation_count(&self) -> u64 {
+        self.rotations.get()
+    }
+
+    /// The simulated cost of one full rotation.
+    pub fn rotation_cost(&self) -> Duration {
+        Duration::cycles(self.ring_length() as u64 * self.clock_div)
+    }
+
+    async fn rotate(&self) {
+        self.handle.wait(self.rotation_cost()).await;
+        self.rotations.set(self.rotations.get() + 1);
+    }
+
+    /// Writes `value` into client `index`'s register (one full rotation,
+    /// other registers are recirculated unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub async fn write(&self, index: usize, value: u64) {
+        assert!(index < self.clients.len(), "config client index in range");
+        self.rotate().await;
+        self.clients[index].load_config(value);
+    }
+
+    /// Reads client `index`'s register (one full rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub async fn read(&self, index: usize) -> u64 {
+        assert!(index < self.clients.len(), "config client index in range");
+        let v = self.clients[index].read_config();
+        self.rotate().await;
+        v
+    }
+
+    /// Reconfigures every client in one rotation; `values[i]` goes to
+    /// client `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the client count.
+    pub async fn write_all(&self, values: &[u64]) {
+        assert_eq!(
+            values.len(),
+            self.clients.len(),
+            "one value per ring client"
+        );
+        self.rotate().await;
+        for (c, &v) in self.clients.iter().zip(values) {
+            c.load_config(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use tve_sim::Simulation;
+
+    struct Reg {
+        name: String,
+        len: u32,
+        value: Cell<u64>,
+    }
+
+    impl ConfigClient for Reg {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn config_len(&self) -> u32 {
+            self.len
+        }
+        fn load_config(&self, value: u64) {
+            self.value.set(value);
+        }
+        fn read_config(&self) -> u64 {
+            self.value.get()
+        }
+    }
+
+    fn reg(name: &str, len: u32) -> Rc<Reg> {
+        Rc::new(Reg {
+            name: name.to_string(),
+            len,
+            value: Cell::new(0),
+        })
+    }
+
+    #[test]
+    fn write_costs_one_rotation() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let a = reg("a", 3);
+        let b = reg("b", 5);
+        let ring = Rc::new(ConfigScanRing::new(
+            &h,
+            vec![a.clone() as Rc<dyn ConfigClient>, b.clone()],
+            1,
+        ));
+        assert_eq!(ring.ring_length(), 8);
+        let r = Rc::clone(&ring);
+        sim.spawn(async move {
+            r.write(1, 0b10110).await;
+        });
+        assert_eq!(sim.run().cycles(), 8);
+        assert_eq!(b.read_config(), 0b10110);
+        assert_eq!(a.read_config(), 0);
+        assert_eq!(ring.rotation_count(), 1);
+    }
+
+    #[test]
+    fn clock_divider_scales_cost() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ring = Rc::new(ConfigScanRing::new(
+            &h,
+            vec![reg("a", 4) as Rc<dyn ConfigClient>],
+            8,
+        ));
+        let r = Rc::clone(&ring);
+        sim.spawn(async move {
+            r.write(0, 1).await;
+        });
+        assert_eq!(sim.run().cycles(), 32);
+    }
+
+    #[test]
+    fn write_all_is_a_single_rotation() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let a = reg("a", 3);
+        let b = reg("b", 3);
+        let c = reg("c", 3);
+        let ring = Rc::new(ConfigScanRing::new(
+            &h,
+            vec![a.clone() as Rc<dyn ConfigClient>, b.clone(), c.clone()],
+            1,
+        ));
+        let r = Rc::clone(&ring);
+        sim.spawn(async move {
+            r.write_all(&[1, 2, 3]).await;
+        });
+        assert_eq!(sim.run().cycles(), 9);
+        assert_eq!(
+            (a.read_config(), b.read_config(), c.read_config()),
+            (1, 2, 3)
+        );
+        assert_eq!(ring.rotation_count(), 1);
+    }
+
+    #[test]
+    fn read_returns_current_value_and_costs_a_rotation() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let a = reg("a", 6);
+        a.load_config(0x2A);
+        let ring = Rc::new(ConfigScanRing::new(&h, vec![a as Rc<dyn ConfigClient>], 1));
+        let r = Rc::clone(&ring);
+        let jh = sim.spawn(async move { r.read(0).await });
+        assert_eq!(sim.run().cycles(), 6);
+        assert_eq!(jh.try_take(), Some(0x2A));
+    }
+}

@@ -1,0 +1,401 @@
+//! The on-chip test controller (paper Section III.E): drives the memory
+//! array BIST (march + pattern tests) over the TAM.
+
+use std::fmt;
+use std::rc::Rc;
+
+use tve_memtest::{MarchOp, MarchOrder, MarchTest, PatternTest};
+use tve_sim::{Duration, SimHandle};
+use tve_tlm::{Command, InitiatorId, TamIf, TamIfExt};
+
+use crate::model::DataPolicy;
+use crate::outcome::TestOutcome;
+
+/// Plan for a memory test sequence: the march algorithm, optional pattern
+/// tests, the memory's TAM window, and per-operation cost.
+#[derive(Debug, Clone)]
+pub struct MemoryTestPlan {
+    /// Sequence name.
+    pub name: String,
+    /// The march algorithm.
+    pub march: MarchTest,
+    /// Background pattern tests appended after the march.
+    pub patterns: Vec<PatternTest>,
+    /// TAM base address of the memory window (word addressed: word `i`
+    /// lives at `base_addr + i`).
+    pub base_addr: u32,
+    /// Number of words under test.
+    pub words: u32,
+    /// Engine overhead per operation, on top of the TAM access itself —
+    /// the knob that distinguishes the dedicated BIST controller (test 6)
+    /// from the processor-driven variant (test 7).
+    pub op_overhead: Duration,
+    /// In-flight operation queue depth. `1` models a blocking engine (each
+    /// access completes before the next issues — the processor-driven
+    /// variant); larger depths model a pipelined BIST FSM with posted
+    /// accesses, which keeps requesting under bus contention and can
+    /// therefore saturate a shared TAM.
+    pub posted_depth: usize,
+    /// Volume or full-data simulation.
+    pub policy: DataPolicy,
+}
+
+impl MemoryTestPlan {
+    /// Total operations this plan performs.
+    pub fn total_ops(&self) -> u64 {
+        let march = self.march.total_ops(self.words as u64);
+        let patterns: u64 = self
+            .patterns
+            .iter()
+            .map(|p| p.ops_per_cell() * self.words as u64)
+            .sum();
+        march + patterns
+    }
+}
+
+/// The test controller TLM: a TAM initiator executing [`MemoryTestPlan`]s.
+///
+/// The same component models the paper's test 7 (processor-driven march
+/// from a program in L1 cache) with a larger `op_overhead` — the
+/// architectural difference the paper's schedule comparison turns on.
+#[derive(Clone)]
+pub struct TestController {
+    handle: SimHandle,
+    name: String,
+    tam: Rc<dyn TamIf>,
+    initiator: InitiatorId,
+}
+
+impl fmt::Debug for TestController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestController")
+            .field("name", &self.name)
+            .field("initiator", &self.initiator)
+            .finish()
+    }
+}
+
+impl TestController {
+    /// Creates a controller injecting into `tam` as `initiator`.
+    pub fn new(
+        handle: &SimHandle,
+        name: impl Into<String>,
+        tam: Rc<dyn TamIf>,
+        initiator: InitiatorId,
+    ) -> Self {
+        TestController {
+            handle: handle.clone(),
+            name: name.into(),
+            tam,
+            initiator,
+        }
+    }
+
+    /// The controller name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    async fn op_write(&self, plan: &MemoryTestPlan, out: &mut TestOutcome, addr: u32, value: u32) {
+        self.handle.wait(plan.op_overhead).await;
+        self.bus_write(plan, out, addr, value).await;
+    }
+
+    async fn bus_write(&self, plan: &MemoryTestPlan, out: &mut TestOutcome, addr: u32, value: u32) {
+        let result = if plan.policy == DataPolicy::Volume {
+            self.tam
+                .transfer_volume(self.initiator, Command::Write, plan.base_addr + addr, 32)
+                .await
+        } else {
+            self.tam
+                .write(self.initiator, plan.base_addr + addr, &[value], 32)
+                .await
+        };
+        out.patterns += 1;
+        out.stimulus_bits += 32;
+        if result.is_err() {
+            out.errors += 1;
+        }
+    }
+
+    async fn op_read(&self, plan: &MemoryTestPlan, out: &mut TestOutcome, addr: u32, expect: u32) {
+        self.handle.wait(plan.op_overhead).await;
+        self.bus_read(plan, out, addr, expect).await;
+    }
+
+    async fn bus_read(&self, plan: &MemoryTestPlan, out: &mut TestOutcome, addr: u32, expect: u32) {
+        out.patterns += 1;
+        out.response_bits += 32;
+        if plan.policy == DataPolicy::Volume {
+            if self
+                .tam
+                .transfer_volume(self.initiator, Command::Read, plan.base_addr + addr, 32)
+                .await
+                .is_err()
+            {
+                out.errors += 1;
+            }
+        } else {
+            match self
+                .tam
+                .read(self.initiator, plan.base_addr + addr, 32)
+                .await
+            {
+                Ok(words) => {
+                    if words.first().copied().unwrap_or(!expect) != expect {
+                        out.mismatches += 1;
+                        if out.failing_addresses.len() < 32
+                            && !out.failing_addresses.contains(&addr)
+                        {
+                            out.failing_addresses.push(addr);
+                        }
+                    }
+                }
+                Err(_) => out.errors += 1,
+            }
+        }
+    }
+
+    /// Executes the full plan (march, then pattern tests) and returns its
+    /// outcome; `patterns` in the outcome counts memory operations.
+    pub async fn run_memory_test(&self, plan: &MemoryTestPlan) -> TestOutcome {
+        if plan.posted_depth > 1 {
+            self.run_posted(plan).await
+        } else {
+            self.run_blocking(plan).await
+        }
+    }
+
+    async fn run_blocking(&self, plan: &MemoryTestPlan) -> TestOutcome {
+        let mut out = TestOutcome::begin(&plan.name, self.handle.now());
+        for MemOp {
+            addr,
+            write,
+            expect,
+        } in plan.ops()
+        {
+            if let Some(v) = write {
+                self.op_write(plan, &mut out, addr, v).await;
+            } else {
+                self.op_read(plan, &mut out, addr, expect.unwrap_or(0))
+                    .await;
+            }
+        }
+        out.end = self.handle.now();
+        out
+    }
+
+    /// Pipelined engine: an address generator issues one operation per
+    /// `op_overhead` cycles into a bounded queue; an access unit drains the
+    /// queue onto the TAM. Under contention the queue backlogs, so the
+    /// engine keeps a request pending at the bus.
+    async fn run_posted(&self, plan: &MemoryTestPlan) -> TestOutcome {
+        let start = self.handle.now();
+        let queue: tve_sim::Fifo<Option<MemOp>> =
+            tve_sim::Fifo::new(&self.handle, plan.posted_depth);
+        let consumer = {
+            let queue = queue.clone();
+            let plan = plan.clone();
+            let this = self.clone();
+            self.handle.spawn(async move {
+                let mut out = TestOutcome::begin(&plan.name, this.handle.now());
+                while let Some(MemOp {
+                    addr,
+                    write,
+                    expect,
+                }) = queue.pop().await
+                {
+                    if let Some(v) = write {
+                        this.bus_write(&plan, &mut out, addr, v).await;
+                    } else {
+                        this.bus_read(&plan, &mut out, addr, expect.unwrap_or(0))
+                            .await;
+                    }
+                }
+                out
+            })
+        };
+        for op in plan.ops() {
+            self.handle.wait(plan.op_overhead).await;
+            queue.push(Some(op)).await;
+        }
+        queue.push(None).await;
+        let mut out = consumer.await;
+        out.start = start;
+        out.end = self.handle.now();
+        out
+    }
+}
+
+/// One memory-test operation.
+#[derive(Debug, Clone, Copy)]
+struct MemOp {
+    addr: u32,
+    write: Option<u32>,
+    expect: Option<u32>,
+}
+
+impl MemoryTestPlan {
+    /// Iterates the full operation sequence (march elements, then pattern
+    /// tests) in execution order.
+    fn ops(&self) -> impl Iterator<Item = MemOp> + '_ {
+        let n = self.words;
+        let march = self.march.elements().iter().flat_map(move |elem| {
+            let addrs: Vec<u32> = match elem.order {
+                MarchOrder::Ascending | MarchOrder::Any => (0..n).collect(),
+                MarchOrder::Descending => (0..n).rev().collect(),
+            };
+            let ops = elem.ops.clone();
+            addrs.into_iter().flat_map(move |addr| {
+                ops.clone().into_iter().map(move |op| match op {
+                    MarchOp::W0 => MemOp {
+                        addr,
+                        write: Some(0),
+                        expect: None,
+                    },
+                    MarchOp::W1 => MemOp {
+                        addr,
+                        write: Some(u32::MAX),
+                        expect: None,
+                    },
+                    MarchOp::R0 => MemOp {
+                        addr,
+                        write: None,
+                        expect: Some(0),
+                    },
+                    MarchOp::R1 => MemOp {
+                        addr,
+                        write: None,
+                        expect: Some(u32::MAX),
+                    },
+                })
+            })
+        });
+        let patterns = self.patterns.iter().flat_map(move |p| {
+            let p = *p;
+            let writes = (0..n).map(move |addr| MemOp {
+                addr,
+                write: Some(p.background(addr)),
+                expect: None,
+            });
+            let reads = (0..n).map(move |addr| MemOp {
+                addr,
+                write: None,
+                expect: Some(p.background(addr)),
+            });
+            writes.chain(reads)
+        });
+        march.chain(patterns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use tve_memtest::{Fault, MemoryArray};
+    use tve_sim::Simulation;
+    use tve_tlm::{LocalBoxFuture, ResponseStatus, Transaction};
+
+    /// A minimal word-RAM TAM target backed by a real `MemoryArray`.
+    struct RamTarget {
+        mem: RefCell<MemoryArray>,
+    }
+
+    impl TamIf for RamTarget {
+        fn name(&self) -> &str {
+            "ram"
+        }
+        fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()> {
+            Box::pin(async move {
+                let mut mem = self.mem.borrow_mut();
+                match txn.cmd {
+                    Command::Write => {
+                        let v = txn.data.first().copied().unwrap_or(0);
+                        mem.write(txn.addr, v);
+                    }
+                    Command::Read => {
+                        let v = mem.read(txn.addr);
+                        txn.data = vec![v];
+                    }
+                    Command::WriteRead => {
+                        let v = txn.data.first().copied().unwrap_or(0);
+                        let old = mem.read(txn.addr);
+                        mem.write(txn.addr, v);
+                        txn.data = vec![old];
+                    }
+                }
+                txn.status = ResponseStatus::Ok;
+            })
+        }
+    }
+
+    fn plan(words: u32, policy: DataPolicy) -> MemoryTestPlan {
+        MemoryTestPlan {
+            name: "memtest".to_string(),
+            march: MarchTest::mats_plus(),
+            patterns: vec![PatternTest::Checkerboard, PatternTest::AddressInData],
+            base_addr: 0,
+            words,
+            op_overhead: Duration::cycles(5),
+            posted_depth: 1,
+            policy,
+        }
+    }
+
+    fn run(policy: DataPolicy, faults: Vec<Fault>, words: u32) -> TestOutcome {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let mut mem = MemoryArray::new(words as usize);
+        for f in faults {
+            mem.inject(f);
+        }
+        let ram = Rc::new(RamTarget {
+            mem: RefCell::new(mem),
+        });
+        let ctrl = TestController::new(&h, "ctrl", ram as Rc<dyn TamIf>, InitiatorId(5));
+        let p = plan(words, policy);
+        let jh = sim.spawn(async move { ctrl.run_memory_test(&p).await });
+        sim.run();
+        jh.try_take().unwrap()
+    }
+
+    #[test]
+    fn op_count_matches_plan() {
+        let p = plan(32, DataPolicy::Volume);
+        // MATS+ = 5 ops/cell, two pattern tests = 4 ops/cell.
+        assert_eq!(p.total_ops(), 32 * 9);
+        let out = run(DataPolicy::Volume, vec![], 32);
+        assert_eq!(out.patterns, 32 * 9);
+        assert!(out.clean());
+    }
+
+    #[test]
+    fn fault_free_memory_passes_full_mode() {
+        let out = run(DataPolicy::Full, vec![], 32);
+        assert_eq!(out.mismatches, 0);
+        assert_eq!(out.errors, 0);
+    }
+
+    #[test]
+    fn stuck_at_is_detected_in_full_mode() {
+        let out = run(DataPolicy::Full, vec![Fault::stuck_at(7, 3, true)], 32);
+        assert!(out.mismatches > 0);
+    }
+
+    #[test]
+    fn address_alias_is_detected_in_full_mode() {
+        let out = run(DataPolicy::Full, vec![Fault::address_alias(2, 20)], 32);
+        assert!(out.mismatches > 0);
+    }
+
+    #[test]
+    fn volume_mode_cannot_see_faults_but_keeps_timing() {
+        let faulty = run(DataPolicy::Volume, vec![Fault::stuck_at(7, 3, true)], 32);
+        let clean = run(DataPolicy::Volume, vec![], 32);
+        assert_eq!(faulty.mismatches, 0, "volume mode carries no data");
+        assert_eq!(faulty.duration(), clean.duration());
+        // 9 ops/cell x 32 words x 5 cycles overhead (RAM target is instant).
+        assert_eq!(clean.duration().as_cycles(), 9 * 32 * 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! The result record of one executed test sequence.
+
+use std::fmt;
+
+use tve_sim::{Duration, Time};
+
+/// What a pattern source observed while running one test sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestOutcome {
+    /// Test sequence name.
+    pub name: String,
+    /// Patterns applied.
+    pub patterns: u64,
+    /// Stimulus bits moved toward the core.
+    pub stimulus_bits: u64,
+    /// Response bits moved back.
+    pub response_bits: u64,
+    /// Response signature (full-data runs only).
+    pub signature: Option<u64>,
+    /// Observed response mismatches (full-data deterministic tests).
+    pub mismatches: u64,
+    /// Transport-level errors (rejected transactions — a mis-configured
+    /// test infrastructure).
+    pub errors: u64,
+    /// Addresses (word indices) of mismatching reads, capped — what the
+    /// ATE needs for repair actions (memory tests, full-data policy).
+    pub failing_addresses: Vec<u32>,
+    /// When the sequence started.
+    pub start: Time,
+    /// When the sequence (including draining the last shift) finished.
+    pub end: Time,
+}
+
+impl TestOutcome {
+    /// Creates an empty outcome starting at `start`.
+    pub fn begin(name: impl Into<String>, start: Time) -> Self {
+        TestOutcome {
+            name: name.into(),
+            patterns: 0,
+            stimulus_bits: 0,
+            response_bits: 0,
+            signature: None,
+            mismatches: 0,
+            errors: 0,
+            failing_addresses: Vec::new(),
+            start,
+            end: start,
+        }
+    }
+
+    /// The test length in cycles.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// Whether the run completed without transport errors or mismatches.
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.mismatches == 0
+    }
+}
+
+impl fmt::Display for TestOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} patterns in {} ({} stim bits, {} resp bits",
+            self.name,
+            self.patterns,
+            self.duration(),
+            self.stimulus_bits,
+            self.response_bits
+        )?;
+        if let Some(sig) = self.signature {
+            write!(f, ", sig {sig:#x}")?;
+        }
+        if self.errors > 0 || self.mismatches > 0 {
+            write!(
+                f,
+                ", {} errors, {} mismatches",
+                self.errors, self.mismatches
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_clean() {
+        let mut o = TestOutcome::begin("t", Time::from_cycles(100));
+        o.end = Time::from_cycles(350);
+        assert_eq!(o.duration(), Duration::cycles(250));
+        assert!(o.clean());
+        o.errors = 1;
+        assert!(!o.clean());
+    }
+
+    #[test]
+    fn display_includes_signature_and_errors() {
+        let mut o = TestOutcome::begin("t", Time::ZERO);
+        o.signature = Some(0xAB);
+        o.mismatches = 2;
+        let s = o.to_string();
+        assert!(s.contains("sig 0xab"), "{s}");
+        assert!(s.contains("2 mismatches"), "{s}");
+    }
+}

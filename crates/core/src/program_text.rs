@@ -1,0 +1,240 @@
+//! A textual assembly for ATE test programs.
+//!
+//! The paper: "the final test program to be executed by the ATE is a
+//! complex piece of software" whose validation the Virtual ATE enables.
+//! Test programs are data, not Rust — this module gives them a concrete
+//! syntax so programs can be written, stored, diffed and validated like
+//! the software they are.
+//!
+//! ```text
+//! # schedule 4, phase 1
+//! ring 4,0,2,0,1,1        ; one rotation loading all six registers
+//! config 0 bist           ; WIR of ring client 0 by mode name
+//! run 0 4                 ; launch tests 0 and 4 concurrently, join
+//! expect 0 0x9f8d6e25     ; compare wrapper 0's signature
+//! wait 500
+//! ```
+//!
+//! `#` and `;` start comments; mode names map to the WIR encodings of
+//! [`WrapperMode`](crate::WrapperMode).
+
+use std::fmt;
+
+use crate::ate::{AteOp, TestProgram};
+use crate::wrapper::WrapperMode;
+
+/// Error parsing a textual test program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+fn parse_value(token: &str) -> Option<u64> {
+    if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        token.parse().ok()
+    }
+}
+
+fn parse_mode_or_value(token: &str) -> Option<u64> {
+    let mode = match token {
+        "functional" => Some(WrapperMode::Functional),
+        "bypass" => Some(WrapperMode::Bypass),
+        "inttest" | "int-test" => Some(WrapperMode::IntTest),
+        "exttest" | "ext-test" => Some(WrapperMode::ExtTest),
+        "bist" => Some(WrapperMode::Bist),
+        _ => None,
+    };
+    mode.map(WrapperMode::encode).or_else(|| parse_value(token))
+}
+
+impl TestProgram {
+    /// Parses the textual program format; see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] with the offending line on malformed
+    /// input.
+    pub fn parse(name: &str, text: &str) -> Result<Self, ParseProgramError> {
+        let mut ops = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let err = |message: String| ParseProgramError { line, message };
+            let code = raw.split(['#', ';']).next().unwrap_or("").trim();
+            if code.is_empty() {
+                continue;
+            }
+            let mut tokens = code.split_whitespace();
+            let verb = tokens.next().expect("non-empty line");
+            let rest: Vec<&str> = tokens.collect();
+            let op = match verb {
+                "config" => {
+                    let [client, value] = rest.as_slice() else {
+                        return Err(err("usage: config <client> <mode|value>".into()));
+                    };
+                    AteOp::SetConfig {
+                        client: client
+                            .parse()
+                            .map_err(|_| err(format!("bad client '{client}'")))?,
+                        value: parse_mode_or_value(value)
+                            .ok_or_else(|| err(format!("bad mode/value '{value}'")))?,
+                    }
+                }
+                "ring" => {
+                    let [list] = rest.as_slice() else {
+                        return Err(err("usage: ring <v0,v1,...>".into()));
+                    };
+                    let values = list
+                        .split(',')
+                        .map(|v| {
+                            parse_mode_or_value(v.trim())
+                                .ok_or_else(|| err(format!("bad ring value '{v}'")))
+                        })
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    AteOp::ConfigureRing(values)
+                }
+                "run" => {
+                    if rest.is_empty() {
+                        return Err(err("usage: run <test> [<test>...]".into()));
+                    }
+                    let tests = rest
+                        .iter()
+                        .map(|t| t.parse().map_err(|_| err(format!("bad test index '{t}'"))))
+                        .collect::<Result<Vec<usize>, _>>()?;
+                    AteOp::RunTests(tests)
+                }
+                "expect" => {
+                    let [wrapper, sig] = rest.as_slice() else {
+                        return Err(err("usage: expect <wrapper> <signature>".into()));
+                    };
+                    AteOp::ExpectSignature {
+                        wrapper: wrapper
+                            .parse()
+                            .map_err(|_| err(format!("bad wrapper '{wrapper}'")))?,
+                        expected: parse_value(sig)
+                            .ok_or_else(|| err(format!("bad signature '{sig}'")))?,
+                    }
+                }
+                "wait" => {
+                    let [cycles] = rest.as_slice() else {
+                        return Err(err("usage: wait <cycles>".into()));
+                    };
+                    AteOp::WaitCycles(
+                        parse_value(cycles)
+                            .ok_or_else(|| err(format!("bad cycle count '{cycles}'")))?,
+                    )
+                }
+                other => return Err(err(format!("unknown instruction '{other}'"))),
+            };
+            ops.push(op);
+        }
+        if ops.is_empty() {
+            return Err(ParseProgramError {
+                line: 0,
+                message: "empty program".to_string(),
+            });
+        }
+        Ok(TestProgram {
+            name: name.to_string(),
+            ops,
+        })
+    }
+}
+
+impl fmt::Display for TestProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.name)?;
+        for op in &self.ops {
+            match op {
+                AteOp::SetConfig { client, value } => writeln!(f, "config {client} {value}")?,
+                AteOp::ConfigureRing(values) => {
+                    let list: Vec<String> = values.iter().map(u64::to_string).collect();
+                    writeln!(f, "ring {}", list.join(","))?;
+                }
+                AteOp::RunTests(tests) => {
+                    let list: Vec<String> = tests.iter().map(usize::to_string).collect();
+                    writeln!(f, "run {}", list.join(" "))?;
+                }
+                AteOp::ExpectSignature { wrapper, expected } => {
+                    writeln!(f, "expect {wrapper} {expected:#x}")?;
+                }
+                AteOp::WaitCycles(c) => writeln!(f, "wait {c}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "\
+        # production test, schedule 4\n\
+        ring 4,0,2,0,1,1\n\
+        config 0 bist       ; processor BIST\n\
+        run 0 4\n\
+        expect 0 0xDEADBEEF\n\
+        wait 500\n";
+
+    #[test]
+    fn parse_full_program() {
+        let p = TestProgram::parse("prod", PROGRAM).unwrap();
+        assert_eq!(p.ops.len(), 5);
+        assert_eq!(p.ops[0], AteOp::ConfigureRing(vec![4, 0, 2, 0, 1, 1]));
+        assert_eq!(
+            p.ops[1],
+            AteOp::SetConfig {
+                client: 0,
+                value: WrapperMode::Bist.encode()
+            }
+        );
+        assert_eq!(p.ops[2], AteOp::RunTests(vec![0, 4]));
+        assert_eq!(
+            p.ops[3],
+            AteOp::ExpectSignature {
+                wrapper: 0,
+                expected: 0xDEAD_BEEF
+            }
+        );
+        assert_eq!(p.ops[4], AteOp::WaitCycles(500));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let p = TestProgram::parse("prod", PROGRAM).unwrap();
+        let again = TestProgram::parse("prod", &p.to_string()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn mode_names_and_numbers_are_interchangeable() {
+        let by_name = TestProgram::parse("a", "config 2 inttest").unwrap();
+        let by_number = TestProgram::parse("b", "config 2 2").unwrap();
+        assert_eq!(by_name.ops, by_number.ops);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = TestProgram::parse("x", "wait 10\nfrobnicate 1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("frobnicate"), "{e}");
+        let e = TestProgram::parse("x", "config 0").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = TestProgram::parse("x", "expect 0 zzz").unwrap_err();
+        assert!(e.message.contains("signature"), "{e}");
+        assert!(TestProgram::parse("x", "# only comments\n").is_err());
+    }
+}

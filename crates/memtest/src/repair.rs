@@ -1,0 +1,278 @@
+//! Built-in repair: word-level redundancy for the embedded memory —
+//! the "Repair" strategy of the paper's Fig. 1, executed by the ATE
+//! ("evaluates test responses and executes repair actions if necessary",
+//! Section III.E).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::march::MarchTest;
+use crate::memory::{Fault, MemoryAccess, MemoryArray};
+
+/// A memory array with spare words: failing addresses can be remapped to
+/// fault-free redundancy storage.
+///
+/// ```
+/// use tve_memtest::{Fault, MarchTest, RepairableMemory};
+///
+/// let mut mem = RepairableMemory::new(64, 2);
+/// mem.inject(Fault::stuck_at(7, 3, true));
+/// assert!(!MarchTest::mats_plus().run_on(&mut mem).passed());
+/// assert!(mem.repair(7));
+/// assert!(MarchTest::mats_plus().run_on(&mut mem).passed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepairableMemory {
+    array: MemoryArray,
+    spares: Vec<u32>,
+    remap: BTreeMap<u32, usize>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RepairableMemory {
+    /// Creates a memory of `words` words with `spare_words` redundancy
+    /// words.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty main array.
+    pub fn new(words: usize, spare_words: usize) -> Self {
+        RepairableMemory {
+            array: MemoryArray::new(words),
+            spares: vec![0; spare_words],
+            remap: BTreeMap::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Total reads performed (main array and spares).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes performed (main array and spares).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of addressable words.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Total spare words.
+    pub fn spares_total(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Spares already allocated.
+    pub fn spares_used(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Addresses currently remapped to spares.
+    pub fn repaired_addresses(&self) -> impl Iterator<Item = u32> + '_ {
+        self.remap.keys().copied()
+    }
+
+    /// Injects a fault into the *main* array (spares are fault-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault is out of range.
+    pub fn inject(&mut self, fault: Fault) {
+        self.array.inject(fault);
+    }
+
+    /// Remaps `addr` to a spare word. Returns `false` when no spare is
+    /// left; repairing an already-repaired address succeeds without
+    /// consuming another spare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn repair(&mut self, addr: u32) -> bool {
+        assert!((addr as usize) < self.array.len(), "address in range");
+        if self.remap.contains_key(&addr) {
+            return true;
+        }
+        if self.remap.len() >= self.spares.len() {
+            return false;
+        }
+        let slot = self.remap.len();
+        self.remap.insert(addr, slot);
+        true
+    }
+
+    /// Reads the word at `addr` (through the remap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read(&mut self, addr: u32) -> u32 {
+        self.reads += 1;
+        match self.remap.get(&addr) {
+            Some(&slot) => self.spares[slot],
+            None => self.array.read(addr),
+        }
+    }
+
+    /// Writes the word at `addr` (through the remap).
+    ///
+    /// Note: a write to an *unrepaired* address still exercises the faulty
+    /// main array — including coupling side effects onto other words —
+    /// exactly like silicon with row redundancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: u32, value: u32) {
+        self.writes += 1;
+        match self.remap.get(&addr) {
+            Some(&slot) => self.spares[slot] = value,
+            None => self.array.write(addr, value),
+        }
+    }
+}
+
+impl MemoryAccess for RepairableMemory {
+    fn word_count(&self) -> usize {
+        self.len()
+    }
+    fn read_word(&mut self, addr: u32) -> u32 {
+        self.read(addr)
+    }
+    fn write_word(&mut self, addr: u32, value: u32) {
+        self.write(addr, value)
+    }
+}
+
+impl fmt::Display for RepairableMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} words, {}/{} spares used",
+            self.array.len(),
+            self.spares_used(),
+            self.spares_total()
+        )
+    }
+}
+
+/// Outcome of a detect → repair → retest flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Failing addresses found by the initial test.
+    pub failing: Vec<u32>,
+    /// Addresses successfully remapped.
+    pub repaired: Vec<u32>,
+    /// Whether the retest passed (the part is shippable).
+    pub retest_passed: bool,
+    /// Whether repair ran out of spares.
+    pub spares_exhausted: bool,
+}
+
+/// The ATE's repair action: run `march`, remap every failing address,
+/// rerun, and report. Fails fast (without retest) when the failing
+/// addresses exceed the spare count.
+pub fn repair_flow(mem: &mut RepairableMemory, march: &MarchTest) -> RepairReport {
+    let first = march.run_on(mem);
+    let mut failing: Vec<u32> = first.mismatches.iter().map(|m| m.addr).collect();
+    failing.sort_unstable();
+    failing.dedup();
+    let mut repaired = Vec::new();
+    let mut spares_exhausted = false;
+    for &addr in &failing {
+        if mem.repair(addr) {
+            repaired.push(addr);
+        } else {
+            spares_exhausted = true;
+            break;
+        }
+    }
+    let retest_passed = !spares_exhausted && march.run_on(mem).passed();
+    RepairReport {
+        failing,
+        repaired,
+        retest_passed,
+        spares_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remap_isolates_the_faulty_word() {
+        let mut mem = RepairableMemory::new(32, 2);
+        mem.inject(Fault::stuck_at(5, 0, true));
+        mem.write(5, 0);
+        assert_eq!(mem.read(5) & 1, 1, "fault visible before repair");
+        assert!(mem.repair(5));
+        mem.write(5, 0);
+        assert_eq!(mem.read(5), 0, "spare is fault-free");
+        assert_eq!(mem.spares_used(), 1);
+        assert_eq!(mem.repaired_addresses().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn repair_is_idempotent_and_bounded() {
+        let mut mem = RepairableMemory::new(32, 1);
+        assert!(mem.repair(3));
+        assert!(mem.repair(3), "re-repair is free");
+        assert_eq!(mem.spares_used(), 1);
+        assert!(!mem.repair(9), "out of spares");
+    }
+
+    #[test]
+    fn flow_repairs_a_single_stuck_at() {
+        let mut mem = RepairableMemory::new(64, 2);
+        mem.inject(Fault::stuck_at(17, 9, false));
+        let report = repair_flow(&mut mem, &MarchTest::mats_plus());
+        assert_eq!(report.failing, vec![17]);
+        assert_eq!(report.repaired, vec![17]);
+        assert!(report.retest_passed);
+        assert!(!report.spares_exhausted);
+    }
+
+    #[test]
+    fn flow_reports_spare_exhaustion() {
+        let mut mem = RepairableMemory::new(64, 1);
+        mem.inject(Fault::stuck_at(3, 0, true));
+        mem.inject(Fault::stuck_at(40, 0, true));
+        let report = repair_flow(&mut mem, &MarchTest::mats_plus());
+        assert_eq!(report.failing.len(), 2);
+        assert!(report.spares_exhausted);
+        assert!(!report.retest_passed);
+    }
+
+    #[test]
+    fn coupling_aggressor_must_be_repaired_not_the_victim() {
+        // CFin: aggressor 4 flips victim 20. Repairing the *victim* fixes
+        // the symptom (the victim's storage moves to a spare); MATS+ then
+        // passes — but a flow repairing whatever address fails is exactly
+        // what the ATE does, so this documents the behaviour.
+        let mut mem = RepairableMemory::new(64, 2);
+        mem.inject(Fault::coupling_inversion((4, 0), (20, 0), true));
+        let report = repair_flow(&mut mem, &MarchTest::march_c_minus());
+        assert!(report.retest_passed, "{report:?}");
+        assert!(!report.repaired.is_empty());
+    }
+
+    #[test]
+    fn clean_memory_needs_no_repair() {
+        let mut mem = RepairableMemory::new(64, 2);
+        let report = repair_flow(&mut mem, &MarchTest::mats_plus());
+        assert!(report.failing.is_empty());
+        assert!(report.retest_passed);
+        assert_eq!(mem.spares_used(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Random-pattern BIST fault-coverage curves: the saturation behaviour
+//! that justifies the case study's pattern counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{fault_sim_batch, StuckAtFault};
+use crate::netlist::Netlist;
+
+/// One point of a coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// Patterns applied so far.
+    pub patterns: u64,
+    /// Fraction of the fault list detected, in `[0, 1]`.
+    pub coverage: f64,
+}
+
+/// Applies `batches` batches of 64 reproducible random patterns to
+/// `netlist`, fault-simulating `faults` with fault dropping, and returns
+/// the coverage after each batch.
+///
+/// The resulting curve is monotone and (for random-pattern-testable
+/// logic) saturates — exactly why the paper's BIST runs a fixed large
+/// pattern count rather than "until done".
+pub fn random_coverage_curve(
+    netlist: &Netlist,
+    faults: &[StuckAtFault],
+    batches: u32,
+    seed: u64,
+) -> Vec<CoveragePoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = vec![false; faults.len()];
+    let mut curve = Vec::with_capacity(batches as usize);
+    for b in 0..batches {
+        let inputs: Vec<u64> = (0..netlist.input_count()).map(|_| rng.gen()).collect();
+        fault_sim_batch(netlist, &inputs, u64::MAX, faults, &mut detected);
+        let hit = detected.iter().filter(|&&d| d).count();
+        curve.push(CoveragePoint {
+            patterns: (b as u64 + 1) * 64,
+            coverage: if faults.is_empty() {
+                1.0
+            } else {
+                hit as f64 / faults.len() as f64
+            },
+        });
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::full_fault_list;
+    use crate::netlist::{c17, Netlist};
+
+    #[test]
+    fn c17_saturates_at_full_coverage() {
+        let c = c17();
+        let faults = full_fault_list(&c);
+        let curve = random_coverage_curve(&c, &faults, 4, 7);
+        assert_eq!(curve.last().unwrap().coverage, 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_saturating() {
+        let n = Netlist::random(16, 200, 8, 3);
+        let faults = full_fault_list(&n);
+        let curve = random_coverage_curve(&n, &faults, 16, 11);
+        for w in curve.windows(2) {
+            assert!(w[1].coverage >= w[0].coverage, "coverage dropped");
+        }
+        let first = curve.first().unwrap().coverage;
+        let last = curve.last().unwrap().coverage;
+        assert!(last >= first);
+        assert!(last > 0.5, "random logic is mostly random-testable: {last}");
+        // Early batches buy far more than late ones (saturation).
+        let early_gain = curve[1].coverage - curve[0].coverage;
+        let late_gain = curve[15].coverage - curve[14].coverage;
+        assert!(early_gain >= late_gain);
+    }
+
+    #[test]
+    fn curve_is_reproducible() {
+        let n = Netlist::random(12, 100, 4, 5);
+        let faults = full_fault_list(&n);
+        assert_eq!(
+            random_coverage_curve(&n, &faults, 8, 1),
+            random_coverage_curve(&n, &faults, 8, 1)
+        );
+    }
+
+    #[test]
+    fn empty_fault_list_is_trivially_covered() {
+        let c = c17();
+        let curve = random_coverage_curve(&c, &[], 2, 1);
+        assert!(curve.iter().all(|p| p.coverage == 1.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests for mesh routing invariants.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use tve_noc::{MeshConfig, MeshNoc, NodeId};
+use tve_sim::Simulation;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// XY routes have exactly Manhattan length, stay inside the mesh, and
+    /// every step moves to a 4-neighbor.
+    #[test]
+    fn xy_routes_are_minimal_and_adjacent(
+        cols in 1u32..6, rows in 1u32..6,
+        sx in 0u32..6, sy in 0u32..6, dx in 0u32..6, dy in 0u32..6,
+    ) {
+        let sim = Simulation::new();
+        let noc = Rc::new(MeshNoc::new(
+            &sim.handle(),
+            MeshConfig { cols, rows, link_width_bits: 8, hop_overhead: 1 },
+        ));
+        let src = NodeId::new(sx % cols, sy % rows);
+        let dst = NodeId::new(dx % cols, dy % rows);
+        let path = noc.xy_route(src, dst);
+        prop_assert_eq!(path.len() as u32, src.hops_to(dst));
+        let mut prev = src;
+        for step in &path {
+            prop_assert!(noc.contains(*step), "step {step} outside the mesh");
+            prop_assert_eq!(prev.hops_to(*step), 1, "non-adjacent hop");
+            prev = *step;
+        }
+        if let Some(last) = path.last() {
+            prop_assert_eq!(*last, dst);
+        } else {
+            prop_assert_eq!(src, dst);
+        }
+    }
+
+    /// The directed link graph is complete for the geometry:
+    /// `2*(cols*(rows-1) + rows*(cols-1))` links.
+    #[test]
+    fn link_count_matches_geometry(cols in 1u32..8, rows in 1u32..8) {
+        let sim = Simulation::new();
+        let noc = MeshNoc::new(
+            &sim.handle(),
+            MeshConfig { cols, rows, link_width_bits: 8, hop_overhead: 1 },
+        );
+        let expected = 2 * (cols * rows.saturating_sub(1) + rows * cols.saturating_sub(1));
+        prop_assert_eq!(noc.link_count() as u32, expected);
+    }
+}

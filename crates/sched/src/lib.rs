@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # tve-sched — test scheduling and design-space exploration
+//!
+//! The planning layer above the simulation: the paper observes that "test
+//! scheduling tries to optimize the concurrency of tests, but the
+//! complexity of the scheduling problem requires that only very coarse
+//! information is taken into account", and that "in order to gain accurate
+//! information regarding power and TAM utilization, the final schedule
+//! should be evaluated using simulation".
+//!
+//! This crate provides both halves:
+//!
+//! * coarse models — [`TestTask`] descriptions with duration estimates,
+//!   TAM shares, power figures and resource conflicts
+//!   ([`estimate_tasks`] derives them analytically from a
+//!   [`SocConfig`](tve_soc::SocConfig)),
+//! * schedulers — sequential, greedy session packing
+//!   ([`greedy_schedule`]) and an exact set-partition optimum for small
+//!   task sets ([`optimal_schedule`]),
+//! * a fluid [`estimate_schedule`] evaluator and Pareto-front
+//!   [`explore`] over candidate schedules,
+//! * **validation by simulation** — [`validate_schedule`] runs a candidate
+//!   on the full SoC TLM and reports estimate-versus-simulated error
+//!   ([`ValidationReport`]), closing the loop the paper argues for.
+
+mod estimate;
+mod explore;
+mod packing;
+mod tam_alloc;
+mod task;
+mod wrapper_design;
+
+pub use estimate::{estimate_schedule, estimate_tasks, PhaseEstimate, ScheduleEstimate};
+pub use explore::{explore, validate_schedule, Candidate, ExploreReport, ValidationReport};
+pub use packing::{greedy_schedule, optimal_schedule, sequential_schedule};
+pub use tam_alloc::{
+    makespan_lower_bound, pack_tam, tam_width_sweep, CoreTestSpec, Placement, TamAssignment,
+};
+pub use task::{Constraints, Resource, TestTask};
+pub use wrapper_design::{design_wrapper, wrapper_staircase, WrapperChain, WrapperDesign};

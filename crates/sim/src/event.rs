@@ -1,0 +1,261 @@
+//! Notification events, the kernel's basic synchronization primitive
+//! (the counterpart of SystemC's `sc_event`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::TimerAction;
+use crate::{Duration, SimHandle, Time};
+
+pub(crate) struct EventState {
+    epoch: u64,
+    waiters: Vec<Waker>,
+}
+
+impl EventState {
+    /// Bumps the epoch and wakes all registered waiters.
+    pub(crate) fn fire(state: &Rc<RefCell<EventState>>) {
+        let waiters = {
+            let mut s = state.borrow_mut();
+            s.epoch += 1;
+            std::mem::take(&mut s.waiters)
+        };
+        for w in waiters {
+            w.wake();
+        }
+    }
+}
+
+/// A multi-waiter notification event.
+///
+/// Semantics follow SystemC's `sc_event`: a notification wakes every process
+/// *currently* waiting; a process that starts waiting afterwards does not see
+/// past notifications. Clones share the same underlying event.
+///
+/// ```
+/// use tve_sim::{Simulation, Event, Duration};
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let ev = Event::new(&h);
+/// let ev2 = ev.clone();
+/// let h2 = h.clone();
+/// let waiter = sim.spawn(async move {
+///     ev2.wait().await;
+///     h2.now().cycles()
+/// });
+/// sim.spawn(async move {
+///     h.wait(Duration::cycles(30)).await;
+///     ev.notify();
+/// });
+/// sim.run();
+/// assert_eq!(waiter.try_take(), Some(30));
+/// ```
+#[derive(Clone)]
+pub struct Event {
+    state: Rc<RefCell<EventState>>,
+    handle: SimHandle,
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.borrow();
+        f.debug_struct("Event")
+            .field("epoch", &s.epoch)
+            .field("waiters", &s.waiters.len())
+            .finish()
+    }
+}
+
+impl Event {
+    /// Creates a new event bound to the simulation behind `handle`.
+    pub fn new(handle: &SimHandle) -> Self {
+        Event {
+            state: Rc::new(RefCell::new(EventState {
+                epoch: 0,
+                waiters: Vec::new(),
+            })),
+            handle: handle.clone(),
+        }
+    }
+
+    /// Notifies immediately: every process currently waiting resumes within
+    /// the current delta cycle.
+    pub fn notify(&self) {
+        EventState::fire(&self.state);
+    }
+
+    /// Notifies after `d` cycles of simulated time.
+    pub fn notify_in(&self, d: Duration) {
+        self.notify_at(Time::from_cycles(
+            self.handle.now().cycles().saturating_add(d.as_cycles()),
+        ));
+    }
+
+    /// Notifies at absolute time `t` (clamped to the current time).
+    pub fn notify_at(&self, t: Time) {
+        self.handle
+            .kernel
+            .schedule(t.cycles(), TimerAction::Notify(Rc::downgrade(&self.state)));
+    }
+
+    /// Waits for the next notification.
+    pub fn wait(&self) -> EventWait {
+        EventWait {
+            state: Rc::clone(&self.state),
+            observed: None,
+        }
+    }
+
+    /// Number of processes currently waiting (diagnostic).
+    pub fn waiter_count(&self) -> usize {
+        self.state.borrow().waiters.len()
+    }
+
+    /// Total notifications fired so far (diagnostic).
+    pub fn notify_count(&self) -> u64 {
+        self.state.borrow().epoch
+    }
+}
+
+/// Future returned by [`Event::wait`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct EventWait {
+    state: Rc<RefCell<EventState>>,
+    observed: Option<u64>,
+}
+
+impl Future for EventWait {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let state = Rc::clone(&self.state);
+        let mut s = state.borrow_mut();
+        match self.observed {
+            Some(e) if s.epoch > e => Poll::Ready(()),
+            Some(_) => {
+                // Spurious wake: re-register (our waker was consumed by the
+                // wake that got us here).
+                s.waiters.push(cx.waker().clone());
+                Poll::Pending
+            }
+            None => {
+                self.observed = Some(s.epoch);
+                s.waiters.push(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+    use std::cell::Cell;
+
+    #[test]
+    fn notify_wakes_all_current_waiters() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        let woken = Rc::new(Cell::new(0u32));
+        for _ in 0..3 {
+            let ev = ev.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                ev.wait().await;
+                woken.set(woken.get() + 1);
+            });
+        }
+        {
+            let h2 = h.clone();
+            let ev = ev.clone();
+            sim.spawn(async move {
+                h2.wait(Duration::cycles(5)).await;
+                ev.notify();
+            });
+        }
+        sim.run();
+        assert_eq!(woken.get(), 3);
+    }
+
+    #[test]
+    fn late_waiter_misses_past_notification() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        ev.notify(); // nobody waiting: lost, like sc_event
+        let ev2 = ev.clone();
+        sim.spawn(async move {
+            ev2.wait().await;
+        });
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1, "waiter must still be blocked");
+    }
+
+    #[test]
+    fn timed_notification_fires_at_the_right_time() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        ev.notify_in(Duration::cycles(25));
+        let ev2 = ev.clone();
+        let h2 = h.clone();
+        let jh = sim.spawn(async move {
+            ev2.wait().await;
+            h2.now().cycles()
+        });
+        sim.run();
+        assert_eq!(jh.try_take(), Some(25));
+    }
+
+    #[test]
+    fn repeated_notifications_support_producer_consumer() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        let seen = Rc::new(Cell::new(0u32));
+        {
+            let ev = ev.clone();
+            let seen = Rc::clone(&seen);
+            sim.spawn(async move {
+                for _ in 0..4 {
+                    ev.wait().await;
+                    seen.set(seen.get() + 1);
+                }
+            });
+        }
+        {
+            let h2 = h.clone();
+            sim.spawn(async move {
+                for _ in 0..4 {
+                    h2.wait(Duration::cycles(10)).await;
+                    ev.notify();
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(seen.get(), 4);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn diagnostics_counters() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = Event::new(&h);
+        assert_eq!(ev.waiter_count(), 0);
+        assert_eq!(ev.notify_count(), 0);
+        ev.notify();
+        assert_eq!(ev.notify_count(), 1);
+        let ev2 = ev.clone();
+        sim.spawn(async move {
+            ev2.wait().await;
+        });
+        sim.run();
+        assert_eq!(ev.waiter_count(), 1);
+    }
+}

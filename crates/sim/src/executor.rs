@@ -1,0 +1,732 @@
+//! The event-driven executor: task spawning, timed wakeups, and the
+//! simulation run loop.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::event::EventState;
+use crate::time::{Duration, Time};
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Identifier of a spawned process, usable for debugging and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpawnId(pub u64);
+
+impl fmt::Display for SpawnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// What a timer does when it fires.
+pub(crate) enum TimerAction {
+    /// Wake a single suspended task.
+    Wake(Waker),
+    /// Fire a timed [`Event`](crate::Event) notification.
+    Notify(std::rc::Weak<RefCell<EventState>>),
+}
+
+struct TimerEntry {
+    time: u64,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    // Reversed so that `BinaryHeap` (a max-heap) pops the earliest
+    // `(time, seq)` first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct TaskWaker {
+    id: u64,
+    ready: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().push(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.lock().push(self.id);
+    }
+}
+
+struct TaskSlot {
+    future: LocalFuture,
+    waker: Waker,
+}
+
+/// Kernel state shared between the [`Simulation`] driver, [`SimHandle`]s and
+/// suspended futures.
+pub(crate) struct Kernel {
+    now: Cell<u64>,
+    seq: Cell<u64>,
+    spawn_seq: Cell<u64>,
+    polls: Cell<u64>,
+    timers_fired: Cell<u64>,
+    timers: RefCell<BinaryHeap<TimerEntry>>,
+    /// Shared with wakers (which must be `Send + Sync`); the simulation
+    /// itself is single-threaded.
+    ready: Arc<Mutex<Vec<u64>>>,
+    tasks: RefCell<HashMap<u64, TaskSlot>>,
+    pending_spawn: RefCell<Vec<(u64, LocalFuture)>>,
+}
+
+impl Kernel {
+    fn new() -> Rc<Kernel> {
+        Rc::new(Kernel {
+            now: Cell::new(0),
+            seq: Cell::new(0),
+            spawn_seq: Cell::new(0),
+            polls: Cell::new(0),
+            timers_fired: Cell::new(0),
+            timers: RefCell::new(BinaryHeap::new()),
+            ready: Arc::new(Mutex::new(Vec::new())),
+            tasks: RefCell::new(HashMap::new()),
+            pending_spawn: RefCell::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn now(&self) -> u64 {
+        self.now.get()
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Schedules `action` to fire at absolute cycle `time` (clamped to now).
+    pub(crate) fn schedule(&self, time: u64, action: TimerAction) {
+        let time = time.max(self.now.get());
+        let seq = self.next_seq();
+        self.timers
+            .borrow_mut()
+            .push(TimerEntry { time, seq, action });
+    }
+
+    fn spawn_raw(&self, future: LocalFuture) -> u64 {
+        let id = self.spawn_seq.get();
+        self.spawn_seq.set(id + 1);
+        self.pending_spawn.borrow_mut().push((id, future));
+        id
+    }
+
+    /// Moves freshly spawned tasks into the task table and marks them ready.
+    fn install_spawned(&self) {
+        let spawned: Vec<_> = self.pending_spawn.borrow_mut().drain(..).collect();
+        for (id, future) in spawned {
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                ready: Arc::clone(&self.ready),
+            }));
+            self.tasks
+                .borrow_mut()
+                .insert(id, TaskSlot { future, waker });
+            self.ready.lock().push(id);
+        }
+    }
+
+    /// Polls one task; returns `true` if it completed.
+    fn poll_task(&self, id: u64) -> bool {
+        // Take the task out of the table so its body may freely spawn or
+        // inspect the kernel without re-entrant borrows of `tasks`.
+        let Some(mut slot) = self.tasks.borrow_mut().remove(&id) else {
+            return false; // already completed; stale wakeup
+        };
+        self.polls.set(self.polls.get() + 1);
+        let waker = slot.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        match slot.future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => true,
+            Poll::Pending => {
+                self.tasks.borrow_mut().insert(id, slot);
+                false
+            }
+        }
+    }
+
+    fn drain_ready(&self) {
+        loop {
+            self.install_spawned();
+            let batch: Vec<u64> = std::mem::take(&mut *self.ready.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for id in batch {
+                self.poll_task(id);
+                self.install_spawned();
+            }
+        }
+    }
+
+    /// Advances time to the earliest pending timer not beyond `horizon` and
+    /// fires every timer scheduled for that instant. Returns `false` when no
+    /// eligible timer exists.
+    fn advance(&self, horizon: u64) -> bool {
+        let next = match self.timers.borrow().peek() {
+            Some(e) => e.time,
+            None => return false,
+        };
+        if next > horizon {
+            return false;
+        }
+        self.now.set(next);
+        loop {
+            let fire = {
+                let mut timers = self.timers.borrow_mut();
+                match timers.peek() {
+                    Some(e) if e.time == next => timers.pop(),
+                    _ => None,
+                }
+            };
+            let Some(entry) = fire else { break };
+            self.timers_fired.set(self.timers_fired.get() + 1);
+            match entry.action {
+                TimerAction::Wake(w) => w.wake(),
+                TimerAction::Notify(state) => {
+                    if let Some(state) = state.upgrade() {
+                        EventState::fire(&state);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn live_tasks(&self) -> usize {
+        self.tasks.borrow().len() + self.pending_spawn.borrow().len()
+    }
+}
+
+/// A cloneable handle through which model code interacts with the kernel:
+/// reading time, waiting, and spawning further processes.
+///
+/// Handles are cheap to clone and are typically moved into each spawned
+/// process.
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) kernel: Rc<Kernel>,
+}
+
+impl fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimHandle")
+            .field("now", &self.kernel.now())
+            .finish()
+    }
+}
+
+impl SimHandle {
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        Time::from_cycles(self.kernel.now())
+    }
+
+    /// Suspends the calling process for `d` cycles.
+    ///
+    /// A zero-length wait is a *delta wait*: the process yields and resumes
+    /// at the same simulated time after other runnable processes have run.
+    pub fn wait(&self, d: Duration) -> Wait {
+        self.wait_until(Time::from_cycles(
+            self.kernel.now().saturating_add(d.as_cycles()),
+        ))
+    }
+
+    /// Suspends the calling process until absolute time `t` (immediately
+    /// resumes via a delta cycle if `t` is not in the future).
+    pub fn wait_until(&self, t: Time) -> Wait {
+        Wait {
+            kernel: Rc::clone(&self.kernel),
+            deadline: t.cycles(),
+            registered: false,
+        }
+    }
+
+    /// Spawns a new process and returns a [`JoinHandle`] resolving to its
+    /// output.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+    {
+        let state: Rc<RefCell<JoinState<F::Output>>> = Rc::new(RefCell::new(JoinState {
+            result: None,
+            finished: false,
+            waiters: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        let id = self.kernel.spawn_raw(Box::pin(async move {
+            let out = future.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(out);
+            s.finished = true;
+            for w in s.waiters.drain(..) {
+                w.wake();
+            }
+        }));
+        JoinHandle {
+            id: SpawnId(id),
+            state,
+        }
+    }
+}
+
+/// Future returned by [`SimHandle::wait`] / [`SimHandle::wait_until`].
+#[must_use = "futures do nothing unless awaited"]
+pub struct Wait {
+    kernel: Rc<Kernel>,
+    deadline: u64,
+    registered: bool,
+}
+
+impl Future for Wait {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.registered {
+            if self.kernel.now() >= self.deadline {
+                Poll::Ready(())
+            } else {
+                // Spurious wake before the deadline: our timer is still
+                // pending and will wake us again.
+                Poll::Pending
+            }
+        } else {
+            self.registered = true;
+            self.kernel
+                .schedule(self.deadline, TimerAction::Wake(cx.waker().clone()));
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    finished: bool,
+    waiters: Vec<Waker>,
+}
+
+/// Handle to a spawned process; awaiting it yields the process output.
+///
+/// Dropping the handle is fine — fire-and-forget processes (the norm for
+/// model components) keep running without it.
+///
+/// # Panics
+///
+/// Awaiting the same handle after it already yielded its output panics, as
+/// the output has been moved out.
+pub struct JoinHandle<T> {
+    id: SpawnId,
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("id", &self.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawn identifier of the underlying process.
+    pub fn id(&self) -> SpawnId {
+        self.id
+    }
+
+    /// Whether the process has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+
+    /// Takes the result if the process has completed (non-blocking).
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        if s.finished {
+            match s.result.take() {
+                Some(v) => Poll::Ready(v),
+                None => panic!("JoinHandle polled after its output was taken"),
+            }
+        } else {
+            s.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Owns the kernel; processes are added with [`Simulation::spawn`] (or via
+/// [`SimHandle::spawn`] from inside a running process) and executed by
+/// [`Simulation::run`] / [`Simulation::run_until`].
+///
+/// ```
+/// use tve_sim::{Simulation, Duration};
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+/// for (i, delay) in [(0u32, 20u64), (1, 10)] {
+///     let h = h.clone();
+///     let order = order.clone();
+///     sim.spawn(async move {
+///         h.wait(Duration::cycles(delay)).await;
+///         order.borrow_mut().push(i);
+///     });
+/// }
+/// sim.run();
+/// assert_eq!(*order.borrow(), vec![1, 0]); // temporal order, not spawn order
+/// ```
+pub struct Simulation {
+    kernel: Rc<Kernel>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.kernel.now())
+            .field("live_tasks", &self.kernel.live_tasks())
+            .finish()
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            kernel: Kernel::new(),
+        }
+    }
+
+    /// A handle for use by model code.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            kernel: Rc::clone(&self.kernel),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        Time::from_cycles(self.kernel.now())
+    }
+
+    /// Number of processes that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.kernel.live_tasks()
+    }
+
+    /// Kernel activity counters since construction: `(task polls, timer
+    /// events fired)` — the event-density figures behind abstraction-level
+    /// comparisons.
+    pub fn kernel_stats(&self) -> (u64, u64) {
+        (self.kernel.polls.get(), self.kernel.timers_fired.get())
+    }
+
+    /// Spawns a process; see [`SimHandle::spawn`].
+    pub fn spawn<F>(&mut self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+    {
+        self.handle().spawn(future)
+    }
+
+    /// Runs until no further activity is possible (event-queue exhaustion).
+    ///
+    /// Processes still blocked on never-notified events remain suspended;
+    /// [`Simulation::live_tasks`] reports them, which is how model-level
+    /// deadlock is detected in tests.
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the event queue is exhausted or simulated time would pass
+    /// `horizon`; returns the reached time.
+    ///
+    /// When stopping at the horizon, time is advanced to exactly `horizon`
+    /// (unless `horizon` is [`Time::MAX`], which is treated as "no limit").
+    pub fn run_until(&mut self, horizon: Time) -> Time {
+        loop {
+            self.kernel.drain_ready();
+            if !self.kernel.advance(horizon.cycles()) {
+                break;
+            }
+        }
+        if horizon != Time::MAX && self.kernel.now() < horizon.cycles() {
+            // No event beyond this point: idle until the horizon.
+            if self
+                .kernel
+                .timers
+                .borrow()
+                .peek()
+                .map(|e| e.time > horizon.cycles())
+                .unwrap_or(true)
+            {
+                self.kernel.now.set(horizon.cycles());
+            }
+        }
+        self.now()
+    }
+
+    /// Runs for an additional `d` cycles of simulated time.
+    pub fn run_for(&mut self, d: Duration) -> Time {
+        let horizon = Time::from_cycles(self.kernel.now().saturating_add(d.as_cycles()));
+        self.run_until(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn empty_simulation_terminates_at_zero() {
+        let mut sim = Simulation::new();
+        assert_eq!(sim.run(), Time::ZERO);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn single_wait_advances_time() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.wait(Duration::cycles(42)).await;
+        });
+        assert_eq!(sim.run(), Time::from_cycles(42));
+    }
+
+    #[test]
+    fn sequential_waits_accumulate() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let handle = sim.spawn(async move {
+            for _ in 0..5 {
+                h.wait(Duration::cycles(10)).await;
+            }
+            h.now()
+        });
+        sim.run();
+        assert_eq!(handle.try_take(), Some(Time::from_cycles(50)));
+    }
+
+    #[test]
+    fn interleaving_is_temporal_then_spawn_order() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20), (3, 10)] {
+            let h = h.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                h.wait(Duration::cycles(delay)).await;
+                log.borrow_mut().push((h.now().cycles(), i));
+            });
+        }
+        sim.run();
+        // At time 10 tasks 1 and 3 fire in spawn (scheduling) order.
+        assert_eq!(*log.borrow(), vec![(10, 1), (10, 3), (20, 2), (30, 0)]);
+    }
+
+    #[test]
+    fn zero_wait_is_delta_yield() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<&str>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let log = Rc::clone(&log);
+            let h2 = h.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push("a1");
+                h2.wait(Duration::ZERO).await;
+                log.borrow_mut().push("a2");
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push("b1");
+            });
+        }
+        let end = sim.run();
+        assert_eq!(end, Time::ZERO);
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn spawn_from_inside_process() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let outer = sim.spawn(async move {
+            let h2 = h.clone();
+            let child = h.spawn(async move {
+                h2.wait(Duration::cycles(7)).await;
+                h2.now().cycles()
+            });
+            child.await
+        });
+        sim.run();
+        assert_eq!(outer.try_take(), Some(7));
+    }
+
+    #[test]
+    fn join_handle_reports_finished() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            h.wait(Duration::cycles(5)).await;
+            123u32
+        });
+        assert!(!jh.is_finished());
+        sim.run();
+        assert!(jh.is_finished());
+        assert_eq!(jh.try_take(), Some(123));
+        assert_eq!(jh.try_take(), None);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            h.wait(Duration::cycles(100)).await;
+            done2.set(true);
+        });
+        let t = sim.run_until(Time::from_cycles(50));
+        assert_eq!(t, Time::from_cycles(50));
+        assert!(!done.get());
+        let t = sim.run();
+        assert_eq!(t, Time::from_cycles(100));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.wait(Duration::cycles(1000)).await;
+        });
+        sim.run_for(Duration::cycles(10));
+        assert_eq!(sim.now(), Time::from_cycles(10));
+        sim.run_for(Duration::cycles(10));
+        assert_eq!(sim.now(), Time::from_cycles(20));
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn blocked_task_counts_as_live_after_run() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let ev = crate::Event::new(&h);
+        sim.spawn(async move {
+            ev.wait().await; // never notified
+        });
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> Vec<(u64, u32)> {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20u32 {
+                let h = h.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    for k in 0..10u64 {
+                        h.wait(Duration::cycles((i as u64 * 7 + k * 3) % 11 + 1))
+                            .await;
+                        log.borrow_mut().push((h.now().cycles(), i));
+                    }
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn task_panic_propagates_out_of_run() {
+        // A panicking process is a model bug; the kernel does not swallow
+        // it — the panic unwinds out of `run` with its original message.
+        let result = std::panic::catch_unwind(|| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            sim.spawn(async move {
+                h.wait(Duration::cycles(5)).await;
+                panic!("model bug at cycle 5");
+            });
+            sim.run();
+        });
+        let err = result.expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("model bug"), "{msg}");
+    }
+
+    #[test]
+    fn many_tasks_complete() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let count = Rc::new(Cell::new(0u32));
+        for i in 0..1000u64 {
+            let h = h.clone();
+            let count = Rc::clone(&count);
+            sim.spawn(async move {
+                h.wait(Duration::cycles(i % 97)).await;
+                count.set(count.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(count.get(), 1000);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+}

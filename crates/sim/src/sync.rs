@@ -1,0 +1,434 @@
+//! Synchronization and communication primitives built on [`Event`]:
+//! counting semaphores, bounded FIFOs, and last-value signals.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::{Event, SimHandle};
+
+/// A counting semaphore for modeling limited resources (ports, TAM lanes,
+/// tester channels).
+///
+/// ```
+/// use tve_sim::{Simulation, Semaphore, Duration};
+/// let mut sim = Simulation::new();
+/// let h = sim.handle();
+/// let sem = Semaphore::new(&h, 1);
+/// for _ in 0..2 {
+///     let sem = sem.clone();
+///     let h = h.clone();
+///     sim.spawn(async move {
+///         sem.acquire().await;
+///         h.wait(Duration::cycles(10)).await;
+///         sem.release();
+///     });
+/// }
+/// assert_eq!(sim.run().cycles(), 20); // serialized by the semaphore
+/// ```
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<SemaphoreInner>,
+}
+
+struct SemaphoreInner {
+    permits: Cell<usize>,
+    released: Event,
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("permits", &self.inner.permits.get())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(handle: &SimHandle, permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(SemaphoreInner {
+                permits: Cell::new(permits),
+                released: Event::new(handle),
+            }),
+        }
+    }
+
+    /// Currently available permits.
+    pub fn permits(&self) -> usize {
+        self.inner.permits.get()
+    }
+
+    /// Acquires one permit, suspending until one is available.
+    pub async fn acquire(&self) {
+        loop {
+            let p = self.inner.permits.get();
+            if p > 0 {
+                self.inner.permits.set(p - 1);
+                return;
+            }
+            self.inner.released.wait().await;
+        }
+    }
+
+    /// Acquires a permit if one is immediately available.
+    pub fn try_acquire(&self) -> bool {
+        let p = self.inner.permits.get();
+        if p > 0 {
+            self.inner.permits.set(p - 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one permit and wakes waiters.
+    pub fn release(&self) {
+        self.inner.permits.set(self.inner.permits.get() + 1);
+        self.inner.released.notify();
+    }
+}
+
+/// A bounded FIFO channel between processes — the TLM workhorse for
+/// double-buffered pattern transport between sources, adaptors and wrappers.
+///
+/// Clones share the same queue.
+#[derive(Clone)]
+pub struct Fifo<T> {
+    inner: Rc<FifoInner<T>>,
+}
+
+struct FifoInner<T> {
+    queue: RefCell<VecDeque<T>>,
+    capacity: usize,
+    not_full: Event,
+    not_empty: Event,
+}
+
+impl<T> fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fifo")
+            .field("len", &self.len())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (rendezvous channels are not supported).
+    pub fn new(handle: &SimHandle, capacity: usize) -> Self {
+        assert!(capacity > 0, "Fifo capacity must be at least 1");
+        Fifo {
+            inner: Rc::new(FifoInner {
+                queue: RefCell::new(VecDeque::with_capacity(capacity)),
+                capacity,
+                not_full: Event::new(handle),
+                not_empty: Event::new(handle),
+            }),
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.inner.capacity
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Enqueues `item`, suspending while the FIFO is full.
+    pub async fn push(&self, item: T) {
+        let mut item = Some(item);
+        loop {
+            {
+                let mut q = self.inner.queue.borrow_mut();
+                if q.len() < self.inner.capacity {
+                    q.push_back(item.take().expect("item consumed twice"));
+                    drop(q);
+                    self.inner.not_empty.notify();
+                    return;
+                }
+            }
+            self.inner.not_full.wait().await;
+        }
+    }
+
+    /// Dequeues the oldest item, suspending while the FIFO is empty.
+    pub async fn pop(&self) -> T {
+        loop {
+            {
+                let mut q = self.inner.queue.borrow_mut();
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify();
+                    return v;
+                }
+            }
+            self.inner.not_empty.wait().await;
+        }
+    }
+
+    /// Enqueues if space is immediately available.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.queue.borrow_mut();
+        if q.len() < self.inner.capacity {
+            q.push_back(item);
+            drop(q);
+            self.inner.not_empty.notify();
+            Ok(())
+        } else {
+            Err(item)
+        }
+    }
+
+    /// Dequeues if an item is immediately available.
+    pub fn try_pop(&self) -> Option<T> {
+        let v = self.inner.queue.borrow_mut().pop_front();
+        if v.is_some() {
+            self.inner.not_full.notify();
+        }
+        v
+    }
+}
+
+/// A last-value "wire" carrying a value of type `T`, with change
+/// notification — the TLM analogue of a status/control signal.
+#[derive(Clone)]
+pub struct Signal<T> {
+    inner: Rc<SignalInner<T>>,
+}
+
+struct SignalInner<T> {
+    value: RefCell<T>,
+    changed: Event,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signal")
+            .field("value", &*self.inner.value.borrow())
+            .finish()
+    }
+}
+
+impl<T: Clone + PartialEq> Signal<T> {
+    /// Creates a signal carrying `initial`.
+    pub fn new(handle: &SimHandle, initial: T) -> Self {
+        Signal {
+            inner: Rc::new(SignalInner {
+                value: RefCell::new(initial),
+                changed: Event::new(handle),
+            }),
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> T {
+        self.inner.value.borrow().clone()
+    }
+
+    /// Writes `value`; waiters are notified only on an actual change.
+    pub fn set(&self, value: T) {
+        let changed = {
+            let mut v = self.inner.value.borrow_mut();
+            if *v == value {
+                false
+            } else {
+                *v = value;
+                true
+            }
+        };
+        if changed {
+            self.inner.changed.notify();
+        }
+    }
+
+    /// Waits for the next change, then returns the new value.
+    pub async fn wait_change(&self) -> T {
+        self.inner.changed.wait().await;
+        self.get()
+    }
+
+    /// Waits until the signal satisfies `pred` (returns immediately if it
+    /// already does).
+    pub async fn wait_for(&self, mut pred: impl FnMut(&T) -> bool) -> T {
+        loop {
+            {
+                let v = self.inner.value.borrow();
+                if pred(&v) {
+                    return v.clone();
+                }
+            }
+            self.inner.changed.wait().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Duration, Simulation};
+    use std::cell::Cell;
+
+    #[test]
+    fn semaphore_serializes_critical_sections() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sem = Semaphore::new(&h, 2);
+        let peak = Rc::new(Cell::new(0usize));
+        let inside = Rc::new(Cell::new(0usize));
+        for _ in 0..6 {
+            let sem = sem.clone();
+            let h = h.clone();
+            let peak = Rc::clone(&peak);
+            let inside = Rc::clone(&inside);
+            sim.spawn(async move {
+                sem.acquire().await;
+                inside.set(inside.get() + 1);
+                peak.set(peak.get().max(inside.get()));
+                h.wait(Duration::cycles(10)).await;
+                inside.set(inside.get() - 1);
+                sem.release();
+            });
+        }
+        let end = sim.run();
+        assert_eq!(peak.get(), 2);
+        assert_eq!(end.cycles(), 30); // 6 tasks / 2 permits * 10 cycles
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let sem = Semaphore::new(&h, 1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+        drop(sim);
+    }
+
+    #[test]
+    fn fifo_backpressure_blocks_producer() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let fifo: Fifo<u32> = Fifo::new(&h, 2);
+        let produced = Rc::new(Cell::new(0u32));
+        {
+            let fifo = fifo.clone();
+            let produced = Rc::clone(&produced);
+            sim.spawn(async move {
+                for i in 0..10 {
+                    fifo.push(i).await;
+                    produced.set(produced.get() + 1);
+                }
+            });
+        }
+        {
+            let fifo = fifo.clone();
+            let h = h.clone();
+            sim.spawn(async move {
+                let mut expect = 0;
+                loop {
+                    h.wait(Duration::cycles(5)).await;
+                    let v = fifo.pop().await;
+                    assert_eq!(v, expect);
+                    expect += 1;
+                    if expect == 10 {
+                        break;
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(produced.get(), 10);
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn fifo_try_operations() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let fifo: Fifo<u8> = Fifo::new(&h, 1);
+        assert_eq!(fifo.try_pop(), None);
+        assert!(fifo.try_push(1).is_ok());
+        assert_eq!(fifo.try_push(2), Err(2));
+        assert!(fifo.is_full());
+        assert_eq!(fifo.try_pop(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn fifo_zero_capacity_panics() {
+        let sim = Simulation::new();
+        let _ = Fifo::<u8>::new(&sim.handle(), 0);
+    }
+
+    #[test]
+    fn signal_change_notification() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let sig = Signal::new(&h, 0u32);
+        let observed = Rc::new(Cell::new(0u32));
+        {
+            let sig = sig.clone();
+            let observed = Rc::clone(&observed);
+            sim.spawn(async move {
+                let v = sig.wait_for(|v| *v >= 3).await;
+                observed.set(v);
+            });
+        }
+        {
+            let h = h.clone();
+            let sig = sig.clone();
+            sim.spawn(async move {
+                for v in 1..=5 {
+                    h.wait(Duration::cycles(10)).await;
+                    sig.set(v);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(observed.get(), 3);
+        assert_eq!(sig.get(), 5);
+    }
+
+    #[test]
+    fn signal_set_same_value_does_not_notify() {
+        let mut sim = Simulation::new();
+        // (sim must be mut for run())
+        let h = sim.handle();
+        let sig = Signal::new(&h, 7u32);
+        let woken = Rc::new(Cell::new(false));
+        {
+            let sig = sig.clone();
+            let woken = Rc::clone(&woken);
+            sim.spawn(async move {
+                sig.wait_change().await;
+                woken.set(true);
+            });
+        }
+        sig.set(7); // same value: no notification
+        sim.run();
+        assert!(!woken.get());
+        assert_eq!(sim.live_tasks(), 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! The case-study SoC re-platformed on a mesh NoC TAM — the other end of
+//! the paper's TAM spectrum (Section III.A), at full case-study scale.
+//!
+//! Same cores, wrappers, codec, EBI, configuration ring and test sequences
+//! as [`JpegEncoderSoc`](crate::JpegEncoderSoc), but the test data travels
+//! a 3×2 mesh instead of the shared system bus: concurrent tests with
+//! disjoint routes no longer contend, and the interesting metric becomes
+//! the *hottest link* rather than one channel's utilization.
+
+use std::rc::Rc;
+
+use tve_core::{
+    CodecConfig, ConfigClient, ConfigScanRing, DataPolicy, DecompressorCompactor, Ebi,
+    MemoryTestPlan, SyntheticLogicCore, TestController, TestRun, TestWrapper, WrapperConfig,
+    WrapperMode,
+};
+use tve_noc::{MeshConfig, MeshNoc, NodeId};
+use tve_sim::{Duration, SimHandle};
+use tve_tlm::{AddrRange, SinkTarget, TamIf};
+
+use tve_tpg::{Compressor, ReseedingCodec};
+
+use crate::cores::MemoryCore;
+use crate::plan::SocTestPlan;
+use crate::soc::{
+    initiators, SocConfig, CODEC_ADDR, COLOR_WRAPPER_ADDR, DCT_WRAPPER_ADDR, MEM_BASE,
+    PROC_WRAPPER_ADDR, RING_CODEC, RING_COLOR, RING_DCT, RING_EBI, RING_PROC,
+};
+
+/// Node placement of the NoC-TAM case study (3×2 mesh).
+pub mod placement {
+    use tve_noc::NodeId;
+    /// Where the ATE's EBI injects.
+    pub const ATE: NodeId = NodeId { x: 0, y: 0 };
+    /// Processor wrapper and its decompressor/compactor.
+    pub const PROC: NodeId = NodeId { x: 1, y: 0 };
+    /// Embedded memory core.
+    pub const MEM: NodeId = NodeId { x: 2, y: 0 };
+    /// Color conversion wrapper.
+    pub const COLOR: NodeId = NodeId { x: 0, y: 1 };
+    /// DCT wrapper.
+    pub const DCT: NodeId = NodeId { x: 1, y: 1 };
+    /// Test controller and processor-march engine.
+    pub const CONTROLLER: NodeId = NodeId { x: 2, y: 1 };
+}
+
+/// The JPEG encoder SoC with a mesh NoC as TAM.
+pub struct NocJpegSoc {
+    /// Kernel handle the SoC was built against.
+    pub handle: SimHandle,
+    /// The configuration in effect (bus-specific fields are ignored).
+    pub config: SocConfig,
+    /// The mesh TAM.
+    pub noc: Rc<MeshNoc>,
+    /// The embedded memory core.
+    pub memory: Rc<MemoryCore>,
+    /// The processor core's test wrapper.
+    pub proc_wrapper: Rc<TestWrapper>,
+    /// The color conversion core's test wrapper.
+    pub color_wrapper: Rc<TestWrapper>,
+    /// The DCT core's test wrapper.
+    pub dct_wrapper: Rc<TestWrapper>,
+    /// The decompressor/compactor in front of the processor wrapper.
+    pub codec: Rc<DecompressorCompactor>,
+    /// The reseeding compressor for full-data compressed tests.
+    pub reseeding: Option<Rc<ReseedingCodec>>,
+    /// The external bus interface to the ATE (downstream = a mesh port).
+    pub ebi: Rc<Ebi>,
+    /// The configuration scan ring.
+    pub ring: Rc<ConfigScanRing>,
+    /// The on-chip test controller (test 6).
+    pub controller: Rc<TestController>,
+    /// The processor as memory-test engine (test 7).
+    pub processor: Rc<TestController>,
+}
+
+impl NocJpegSoc {
+    /// Builds the NoC-TAM SoC. Link width is `config.bus_width_bits / 3`
+    /// (the mesh spends its wire budget on several narrower links).
+    pub fn build(handle: &SimHandle, config: SocConfig) -> Self {
+        let noc = Rc::new(MeshNoc::new(
+            handle,
+            MeshConfig {
+                cols: 3,
+                rows: 2,
+                link_width_bits: (config.bus_width_bits / 3).max(8),
+                hop_overhead: 2,
+            },
+        ));
+
+        let wrapper_cfg = |name: &str| WrapperConfig {
+            name: name.to_string(),
+            capture_cycles: config.capture_cycles,
+            ..WrapperConfig::default()
+        };
+        let memory = Rc::new(MemoryCore::with_spares(
+            "memory",
+            MEM_BASE,
+            config.memory_words as usize,
+            config.memory_spares as usize,
+        ));
+        let proc_wrapper = Rc::new(TestWrapper::new(
+            handle,
+            wrapper_cfg("proc-wrapper"),
+            Rc::new(SyntheticLogicCore::new(
+                "processor",
+                config.proc_scan,
+                0x50C0,
+            )),
+        ));
+        proc_wrapper.bind_functional(Rc::new(SinkTarget::new("proc-func")));
+        let color_wrapper = Rc::new(TestWrapper::new(
+            handle,
+            wrapper_cfg("color-wrapper"),
+            Rc::new(SyntheticLogicCore::new(
+                "color-conv",
+                config.color_scan,
+                0xC010,
+            )),
+        ));
+        let dct_wrapper = Rc::new(TestWrapper::new(
+            handle,
+            wrapper_cfg("dct-wrapper"),
+            Rc::new(SyntheticLogicCore::new("dct", config.dct_scan, 0xDC70)),
+        ));
+        let reseeding = if config.policy == DataPolicy::Full {
+            Some(Rc::new(
+                ReseedingCodec::new(config.proc_scan, 64)
+                    .expect("degree-64 reseeding codec is always constructible"),
+            ))
+        } else {
+            None
+        };
+        let codec = Rc::new(DecompressorCompactor::new(
+            CodecConfig {
+                name: "decomp/compact".to_string(),
+                decompress_ratio: config.decompress_ratio,
+                compact_ratio: config.compact_ratio,
+            },
+            Rc::clone(&proc_wrapper),
+            reseeding.clone().map(|c| c as Rc<dyn Compressor>),
+        ));
+
+        let bind = |node: NodeId, range: AddrRange, t: Rc<dyn TamIf>| {
+            noc.bind(node, range, t)
+                .expect("address map is conflict-free");
+        };
+        bind(
+            placement::PROC,
+            AddrRange::new(PROC_WRAPPER_ADDR, 0x1000),
+            Rc::clone(&proc_wrapper) as Rc<dyn TamIf>,
+        );
+        bind(
+            placement::PROC,
+            AddrRange::new(CODEC_ADDR, 0x1000),
+            Rc::clone(&codec) as Rc<dyn TamIf>,
+        );
+        bind(
+            placement::COLOR,
+            AddrRange::new(COLOR_WRAPPER_ADDR, 0x1000),
+            Rc::clone(&color_wrapper) as Rc<dyn TamIf>,
+        );
+        bind(
+            placement::DCT,
+            AddrRange::new(DCT_WRAPPER_ADDR, 0x1000),
+            Rc::clone(&dct_wrapper) as Rc<dyn TamIf>,
+        );
+        bind(
+            placement::MEM,
+            AddrRange::new(MEM_BASE, config.memory_words),
+            Rc::clone(&memory) as Rc<dyn TamIf>,
+        );
+
+        let ebi = Rc::new(Ebi::new(
+            handle,
+            "ebi",
+            Rc::new(noc.port(placement::ATE)) as Rc<dyn TamIf>,
+            config.ate_down_rate,
+            config.ate_up_rate,
+        ));
+        let ring = Rc::new(ConfigScanRing::new(
+            handle,
+            vec![
+                Rc::clone(&proc_wrapper) as Rc<dyn ConfigClient>,
+                Rc::clone(&color_wrapper) as Rc<dyn ConfigClient>,
+                Rc::clone(&dct_wrapper) as Rc<dyn ConfigClient>,
+                Rc::clone(&codec) as Rc<dyn ConfigClient>,
+                Rc::clone(&ebi) as Rc<dyn ConfigClient>,
+            ],
+            config.ring_clock_div,
+        ));
+        let controller = Rc::new(TestController::new(
+            handle,
+            "test-controller",
+            Rc::new(noc.port(placement::CONTROLLER)) as Rc<dyn TamIf>,
+            initiators::CONTROLLER,
+        ));
+        let processor = Rc::new(TestController::new(
+            handle,
+            "processor-march",
+            // The embedded processor sits at its own node; its march
+            // traffic crosses the mesh to the memory.
+            Rc::new(noc.port(placement::PROC)) as Rc<dyn TamIf>,
+            initiators::PROCESSOR,
+        ));
+
+        NocJpegSoc {
+            handle: handle.clone(),
+            config,
+            noc,
+            memory,
+            proc_wrapper,
+            color_wrapper,
+            dct_wrapper,
+            codec,
+            reseeding,
+            ebi,
+            ring,
+            controller,
+            processor,
+        }
+    }
+}
+
+/// Ring client index of the codec on the NoC SoC's (shorter) ring.
+const NOC_RING_CODEC: usize = 3;
+/// Ring client index of the EBI on the NoC SoC's ring.
+const NOC_RING_EBI: usize = 4;
+
+/// Builds the seven case-study test sequences against the NoC-TAM SoC
+/// (mirrors [`build_test_runs`](crate::build_test_runs); on-chip BIST
+/// sources attach at their core's mesh node's neighbors, the ATE enters at
+/// its corner).
+pub fn build_test_runs_noc(soc: &NocJpegSoc, plan: &SocTestPlan) -> Vec<TestRun> {
+    use tve_core::{AteSource, BistSource, CompressedAteSource, ReadBack};
+    let cfg = &soc.config;
+    let mut runs = Vec::new();
+
+    // T1: processor BIST; the PRPG is co-located at the processor's node
+    // (per-core BIST — the NoC TAM's architectural advantage: local test
+    // data never crosses a link).
+    {
+        let ring = Rc::clone(&soc.ring);
+        let src = BistSource::new(
+            &soc.handle,
+            "T1 proc BIST",
+            Rc::new(soc.noc.port(placement::PROC)) as Rc<dyn TamIf>,
+            PROC_WRAPPER_ADDR,
+            initiators::BIST_PROC,
+            cfg.proc_scan,
+            plan.bist_proc_patterns,
+            plan.policy,
+            plan.seed ^ 1,
+        );
+        runs.push(TestRun::new("T1 proc BIST", async move {
+            ring.write(RING_PROC, WrapperMode::Bist.encode()).await;
+            src.run().await
+        }));
+    }
+    // T2: deterministic external via EBI.
+    {
+        let ring = Rc::clone(&soc.ring);
+        let src = AteSource {
+            handle: soc.handle.clone(),
+            name: "T2 proc det".to_string(),
+            port: Rc::clone(&soc.ebi) as Rc<dyn TamIf>,
+            wrapper_addr: PROC_WRAPPER_ADDR,
+            read_back: ReadBack::Combined,
+            initiator: initiators::ATE,
+            scan: cfg.proc_scan,
+            patterns: plan.det_proc_patterns,
+            policy: plan.policy,
+            seed: plan.seed ^ 2,
+        };
+        runs.push(TestRun::new("T2 proc det", async move {
+            ring.write(NOC_RING_EBI, 1).await;
+            ring.write(RING_PROC, WrapperMode::IntTest.encode()).await;
+            src.run().await
+        }));
+    }
+    // T3: compressed external.
+    {
+        let ring = Rc::clone(&soc.ring);
+        let src = CompressedAteSource {
+            handle: soc.handle.clone(),
+            name: "T3 proc det 50x".to_string(),
+            port: Rc::clone(&soc.ebi) as Rc<dyn TamIf>,
+            codec_addr: CODEC_ADDR,
+            compressed_bits: match plan.policy {
+                DataPolicy::Volume => soc.codec.compressed_bits(),
+                DataPolicy::Full => 64,
+            },
+            compacted_bits: soc.codec.compacted_bits(),
+            codec: soc
+                .reseeding
+                .clone()
+                .map(|c| c as Rc<dyn tve_tpg::Compressor>),
+            cares_per_cube: 24,
+            initiator: initiators::ATE,
+            scan: cfg.proc_scan,
+            patterns: plan.comp_proc_patterns,
+            policy: plan.policy,
+            seed: plan.seed ^ 3,
+        };
+        runs.push(TestRun::new("T3 proc det 50x", async move {
+            ring.write(NOC_RING_EBI, 1).await;
+            ring.write(RING_PROC, WrapperMode::IntTest.encode()).await;
+            ring.write(NOC_RING_CODEC, 1).await;
+            src.run().await
+        }));
+    }
+    // T4: color BIST, likewise co-located.
+    {
+        let ring = Rc::clone(&soc.ring);
+        let src = BistSource::new(
+            &soc.handle,
+            "T4 color BIST",
+            Rc::new(soc.noc.port(placement::COLOR)) as Rc<dyn TamIf>,
+            COLOR_WRAPPER_ADDR,
+            initiators::BIST_COLOR,
+            cfg.color_scan,
+            plan.bist_color_patterns,
+            plan.policy,
+            plan.seed ^ 4,
+        );
+        runs.push(TestRun::new("T4 color BIST", async move {
+            ring.write(RING_COLOR, WrapperMode::Bist.encode()).await;
+            src.run().await
+        }));
+    }
+    // T5: DCT deterministic external via EBI.
+    {
+        let ring = Rc::clone(&soc.ring);
+        let src = AteSource {
+            handle: soc.handle.clone(),
+            name: "T5 dct det".to_string(),
+            port: Rc::clone(&soc.ebi) as Rc<dyn TamIf>,
+            wrapper_addr: DCT_WRAPPER_ADDR,
+            read_back: ReadBack::Combined,
+            initiator: initiators::ATE,
+            scan: cfg.dct_scan,
+            patterns: plan.det_dct_patterns,
+            policy: plan.policy,
+            seed: plan.seed ^ 5,
+        };
+        runs.push(TestRun::new("T5 dct det", async move {
+            ring.write(NOC_RING_EBI, 1).await;
+            ring.write(RING_DCT, WrapperMode::IntTest.encode()).await;
+            src.run().await
+        }));
+    }
+    // T6/T7: memory marches over the mesh.
+    for (engine, name, overhead, posted) in [
+        (
+            Rc::clone(&soc.controller),
+            "T6 mem march (ctrl)",
+            cfg.controller_op_overhead,
+            128usize,
+        ),
+        (
+            Rc::clone(&soc.processor),
+            "T7 mem march (proc)",
+            cfg.processor_op_overhead,
+            1,
+        ),
+    ] {
+        let p = MemoryTestPlan {
+            name: name.to_string(),
+            march: plan.march.clone(),
+            patterns: plan.pattern_tests.clone(),
+            base_addr: MEM_BASE,
+            words: cfg.memory_words,
+            op_overhead: Duration::cycles(overhead),
+            posted_depth: posted,
+            policy: plan.policy,
+        };
+        runs.push(TestRun::new(name, async move {
+            engine.run_memory_test(&p).await
+        }));
+    }
+    runs
+}
+
+// Quiet the unused-import warnings for constants shared with the bus SoC
+// but not needed here.
+#[allow(unused_imports)]
+use RING_CODEC as _;
+#[allow(unused_imports)]
+use RING_EBI as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::paper_schedules;
+    use tve_core::execute_schedule;
+    use tve_sim::Simulation;
+
+    fn mini() -> SocConfig {
+        let mut c = SocConfig::small();
+        c.memory_words = 64;
+        c
+    }
+
+    #[test]
+    fn noc_soc_builds_and_routes() {
+        let sim = Simulation::new();
+        let soc = NocJpegSoc::build(&sim.handle(), mini());
+        assert_eq!(soc.noc.link_count(), 14); // 3x2 mesh: 7 edges x 2
+        assert_eq!(soc.ring.client_count(), 5);
+        assert!(soc.noc.contains(placement::CONTROLLER));
+    }
+
+    #[test]
+    fn all_four_schedules_run_clean_on_the_noc() {
+        for schedule in paper_schedules() {
+            let mut sim = Simulation::new();
+            let soc = NocJpegSoc::build(&sim.handle(), mini());
+            let tests = build_test_runs_noc(&soc, &SocTestPlan::small());
+            let result = execute_schedule(&mut sim, tests, &schedule).unwrap();
+            assert!(result.clean(), "{schedule}: {result}");
+            assert!(soc.noc.total_busy_cycles() > 0);
+            assert!(soc.noc.hottest_link().is_some());
+        }
+    }
+
+    #[test]
+    fn noc_runs_are_deterministic() {
+        fn run() -> (u64, u64) {
+            let mut sim = Simulation::new();
+            let soc = NocJpegSoc::build(&sim.handle(), mini());
+            let tests = build_test_runs_noc(&soc, &SocTestPlan::small());
+            let result = execute_schedule(&mut sim, tests, &paper_schedules()[3]).unwrap();
+            (result.total_cycles, soc.noc.total_busy_cycles())
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,261 @@
+//! TAM utilization accounting — the instrument behind Table I's
+//! "peak TAM utilization" and "avg TAM utilization" columns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tve_sim::{Duration, Time};
+
+use crate::payload::InitiatorId;
+
+/// Windowed busy-cycle accounting for a shared channel.
+///
+/// The channel reports each granted occupancy interval via
+/// [`UtilizationMonitor::record_busy`]; the monitor splits intervals across
+/// fixed-size windows. *Peak* utilization is the busiest window's busy
+/// fraction, *average* utilization is total busy cycles over an observation
+/// span — exactly the two figures the paper reports per schedule.
+///
+/// ```
+/// use tve_sim::{Time, Duration};
+/// use tve_tlm::{UtilizationMonitor, InitiatorId};
+///
+/// let mut m = UtilizationMonitor::new(Duration::cycles(100));
+/// m.record_busy(Time::from_cycles(0), Duration::cycles(50), InitiatorId(0));
+/// m.record_busy(Time::from_cycles(100), Duration::cycles(100), InitiatorId(1));
+/// assert_eq!(m.peak_utilization(), 1.0);             // window [100,200) fully busy
+/// assert_eq!(m.average_utilization(Time::from_cycles(300)), 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationMonitor {
+    window: u64,
+    windows: BTreeMap<u64, u64>,
+    per_initiator: BTreeMap<InitiatorId, u64>,
+    total_busy: u64,
+    transfers: u64,
+    last_end: Time,
+}
+
+impl fmt::Display for UtilizationMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "util: {} transfers, {} busy cycles, peak {:.1}%",
+            self.transfers,
+            self.total_busy,
+            self.peak_utilization() * 100.0
+        )
+    }
+}
+
+impl UtilizationMonitor {
+    /// Creates a monitor with the given peak-detection window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero cycles.
+    pub fn new(window: Duration) -> Self {
+        assert!(window.as_cycles() > 0, "window must be non-empty");
+        UtilizationMonitor {
+            window: window.as_cycles(),
+            windows: BTreeMap::new(),
+            per_initiator: BTreeMap::new(),
+            total_busy: 0,
+            transfers: 0,
+            last_end: Time::ZERO,
+        }
+    }
+
+    /// The peak-detection window length.
+    pub fn window(&self) -> Duration {
+        Duration::cycles(self.window)
+    }
+
+    /// Records that the channel was busy for `dur` starting at `start` on
+    /// behalf of `initiator`.
+    pub fn record_busy(&mut self, start: Time, dur: Duration, initiator: InitiatorId) {
+        let mut t = start.cycles();
+        let end = t + dur.as_cycles();
+        self.transfers += 1;
+        self.total_busy += dur.as_cycles();
+        *self.per_initiator.entry(initiator).or_insert(0) += dur.as_cycles();
+        while t < end {
+            let w = t / self.window;
+            let wend = (w + 1) * self.window;
+            let chunk = end.min(wend) - t;
+            *self.windows.entry(w).or_insert(0) += chunk;
+            t += chunk;
+        }
+        self.last_end = self.last_end.max(Time::from_cycles(end));
+    }
+
+    /// Total busy cycles recorded.
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.total_busy
+    }
+
+    /// Number of recorded transfers.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers
+    }
+
+    /// End of the latest recorded interval (or explicit observation mark).
+    pub fn last_activity_end(&self) -> Time {
+        self.last_end
+    }
+
+    /// Extends the observation span to `t` without recording activity:
+    /// the channel is known to have been *idle* up to `t`, which matters
+    /// for normalizing the final (partial) peak-detection window.
+    pub fn observe_until(&mut self, t: Time) {
+        self.last_end = self.last_end.max(t);
+    }
+
+    /// Busy cycles attributed to `initiator`.
+    pub fn busy_cycles_of(&self, initiator: InitiatorId) -> u64 {
+        self.per_initiator.get(&initiator).copied().unwrap_or(0)
+    }
+
+    /// All per-initiator busy totals (sorted by initiator id).
+    pub fn per_initiator(&self) -> impl Iterator<Item = (InitiatorId, u64)> + '_ {
+        self.per_initiator.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The busiest window's busy fraction in `[0, 1]`; zero when nothing was
+    /// recorded. The final (possibly partial) window is normalized by the
+    /// span actually observed, so short runs are not underestimated.
+    pub fn peak_utilization(&self) -> f64 {
+        let last = self.last_end.cycles();
+        self.windows
+            .iter()
+            .map(|(&w, &busy)| {
+                let start = w * self.window;
+                let len = last.saturating_sub(start).min(self.window).max(1);
+                busy as f64 / len as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-window busy cycles `(window index, busy cycles)`, sorted by
+    /// index; windows with no activity are absent.
+    pub fn window_busy(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.windows.iter().map(|(&w, &b)| (w, b))
+    }
+
+    /// Busy fraction over `[0, span_end)`; zero for an empty span.
+    pub fn average_utilization(&self, span_end: Time) -> f64 {
+        if span_end == Time::ZERO {
+            return 0.0;
+        }
+        self.total_busy as f64 / span_end.cycles() as f64
+    }
+
+    /// Exports the windowed busy profile as a [`ScalarTrace`] (one sample
+    /// per active window, value = busy fraction in per-mille), for
+    /// waveform-style inspection via [`tve_sim::write_vcd`].
+    ///
+    /// [`ScalarTrace`]: tve_sim::ScalarTrace
+    pub fn to_trace(&self, name: impl Into<String>) -> tve_sim::ScalarTrace {
+        let mut trace = tve_sim::ScalarTrace::new(name);
+        for (w, busy) in &self.windows {
+            trace.record(
+                Time::from_cycles(w * self.window),
+                (busy * 1000 / self.window) as i64,
+            );
+        }
+        trace
+    }
+
+    /// Clears all recorded data, keeping the window configuration.
+    pub fn reset(&mut self) {
+        self.windows.clear();
+        self.per_initiator.clear();
+        self.total_busy = 0;
+        self.transfers = 0;
+        self.last_end = Time::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+    fn d(c: u64) -> Duration {
+        Duration::cycles(c)
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let m = UtilizationMonitor::new(d(100));
+        assert_eq!(m.peak_utilization(), 0.0);
+        assert_eq!(m.average_utilization(t(1000)), 0.0);
+        assert_eq!(m.average_utilization(Time::ZERO), 0.0);
+        assert_eq!(m.transfer_count(), 0);
+    }
+
+    #[test]
+    fn interval_splitting_across_windows() {
+        let mut m = UtilizationMonitor::new(d(10));
+        // [5, 25): windows 0 gets 5, 1 gets 10, 2 gets 5.
+        m.record_busy(t(5), d(20), InitiatorId(0));
+        assert_eq!(m.total_busy_cycles(), 20);
+        assert_eq!(m.peak_utilization(), 1.0); // window 1 fully busy
+        assert_eq!(m.last_activity_end(), t(25));
+    }
+
+    #[test]
+    fn peak_below_one_without_saturation() {
+        let mut m = UtilizationMonitor::new(d(100));
+        for k in 0..10 {
+            m.record_busy(t(k * 100), d(60), InitiatorId(0));
+        }
+        m.observe_until(t(1000));
+        assert!((m.peak_utilization() - 0.6).abs() < 1e-12);
+        assert!((m.average_utilization(t(1000)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_partial_window_is_normalized_by_observed_span() {
+        let mut m = UtilizationMonitor::new(d(100));
+        // Observation ends right at the burst's end: that stretch was
+        // fully busy.
+        m.record_busy(t(900), d(60), InitiatorId(0));
+        assert_eq!(m.peak_utilization(), 1.0);
+        // Once we know the channel idled on to cycle 1000, the window
+        // dilutes to 0.6.
+        m.observe_until(t(1000));
+        assert!((m.peak_utilization() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_initiator_attribution() {
+        let mut m = UtilizationMonitor::new(d(100));
+        m.record_busy(t(0), d(30), InitiatorId(1));
+        m.record_busy(t(30), d(20), InitiatorId(2));
+        m.record_busy(t(50), d(10), InitiatorId(1));
+        assert_eq!(m.busy_cycles_of(InitiatorId(1)), 40);
+        assert_eq!(m.busy_cycles_of(InitiatorId(2)), 20);
+        assert_eq!(m.busy_cycles_of(InitiatorId(3)), 0);
+        let all: Vec<_> = m.per_initiator().collect();
+        assert_eq!(all, vec![(InitiatorId(1), 40), (InitiatorId(2), 20)]);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = UtilizationMonitor::new(d(10));
+        m.record_busy(t(0), d(10), InitiatorId(0));
+        m.reset();
+        assert_eq!(m.total_busy_cycles(), 0);
+        assert_eq!(m.peak_utilization(), 0.0);
+        assert_eq!(m.window(), d(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_panics() {
+        let _ = UtilizationMonitor::new(Duration::ZERO);
+    }
+}

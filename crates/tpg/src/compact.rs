@@ -1,0 +1,148 @@
+//! Spatial response compaction (XOR trees).
+
+use crate::bitvec::BitVec;
+
+/// A spatial XOR compactor reducing `inputs` response bits per cycle to
+/// `outputs` bits, by XOR-folding input groups (paper Section III.D).
+///
+/// ```
+/// use tve_tpg::{XorCompactor, BitVec};
+/// let c = XorCompactor::new(8, 2).unwrap();
+/// let slice = BitVec::from_bits([true, false, false, false, true, true, false, false]);
+/// let out = c.compact_slice(&slice);
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorCompactor {
+    inputs: u32,
+    outputs: u32,
+}
+
+impl XorCompactor {
+    /// Creates a compactor folding `inputs` into `outputs` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` unless `0 < outputs <= inputs`.
+    pub fn new(inputs: u32, outputs: u32) -> Option<Self> {
+        if outputs == 0 || outputs > inputs {
+            return None;
+        }
+        Some(XorCompactor { inputs, outputs })
+    }
+
+    /// Number of input bits per slice.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of output bits per slice.
+    pub fn outputs(&self) -> u32 {
+        self.outputs
+    }
+
+    /// The compaction ratio `inputs / outputs`.
+    pub fn ratio(&self) -> f64 {
+        self.inputs as f64 / self.outputs as f64
+    }
+
+    /// Compacts one slice of `inputs` bits to `outputs` bits: output `o` is
+    /// the parity of inputs `i` with `i % outputs == o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `inputs`.
+    pub fn compact_slice(&self, slice: &BitVec) -> BitVec {
+        assert_eq!(slice.len() as u32, self.inputs, "slice width mismatch");
+        let mut out = BitVec::zeros(self.outputs as usize);
+        for i in 0..self.inputs as usize {
+            if slice.get(i) == Some(true) {
+                let o = i % self.outputs as usize;
+                let cur = out.get(o).expect("in range");
+                out.set(o, !cur);
+            }
+        }
+        out
+    }
+
+    /// Compacts a full chain-major response image slice-by-slice.
+    ///
+    /// The image holds `inputs` chains of equal length; the result holds
+    /// `outputs` compacted streams of the same length, chain-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not a multiple of `inputs`.
+    pub fn compact_image(&self, image: &BitVec) -> BitVec {
+        assert_eq!(
+            image.len() % self.inputs as usize,
+            0,
+            "image not a multiple of input width"
+        );
+        let len = image.len() / self.inputs as usize;
+        let mut out = BitVec::zeros(self.outputs as usize * len);
+        for cycle in 0..len {
+            let slice: BitVec = (0..self.inputs as usize)
+                .map(|c| image.get(c * len + cycle).expect("in range"))
+                .collect();
+            let folded = self.compact_slice(&slice);
+            for o in 0..self.outputs as usize {
+                if folded.get(o) == Some(true) {
+                    out.set(o * len + cycle, true);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(XorCompactor::new(8, 0).is_none());
+        assert!(XorCompactor::new(4, 8).is_none());
+        let c = XorCompactor::new(8, 4).unwrap();
+        assert_eq!(c.ratio(), 2.0);
+    }
+
+    #[test]
+    fn single_error_always_visible() {
+        // An XOR compactor propagates any single-bit error to an output.
+        let c = XorCompactor::new(8, 2).unwrap();
+        let clean = BitVec::zeros(8);
+        for e in 0..8 {
+            let mut dirty = clean.clone();
+            dirty.set(e, true);
+            assert_ne!(
+                c.compact_slice(&clean),
+                c.compact_slice(&dirty),
+                "error at {e} masked"
+            );
+        }
+    }
+
+    #[test]
+    fn even_errors_in_same_group_alias() {
+        // Two errors folding into the same output cancel — the classic
+        // aliasing limitation of pure spatial compaction.
+        let c = XorCompactor::new(8, 4).unwrap();
+        let clean = BitVec::zeros(8);
+        let mut dirty = clean.clone();
+        dirty.set(0, true);
+        dirty.set(4, true); // same group (0 % 4 == 4 % 4)
+        assert_eq!(c.compact_slice(&clean), c.compact_slice(&dirty));
+    }
+
+    #[test]
+    fn image_compaction_shapes() {
+        let c = XorCompactor::new(4, 2).unwrap();
+        let image = BitVec::ones(4 * 10);
+        let out = c.compact_image(&image);
+        assert_eq!(out.len(), 2 * 10);
+        // 4 ones per slice fold to parity 0 in both outputs.
+        assert_eq!(out.count_ones(), 0);
+    }
+}

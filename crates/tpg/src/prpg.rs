@@ -1,0 +1,344 @@
+//! Multi-chain pseudo-random pattern generator: an LFSR behind a phase
+//! shifter feeding parallel scan chains (the pattern source of logic BIST).
+
+use crate::bitvec::BitVec;
+use crate::lfsr::{Lfsr, PolyError};
+use crate::pattern::{ScanConfig, ScanPattern};
+
+/// Deterministic, well-spread phase-shifter mask for chain `j` of an LFSR
+/// of width `degree`, derived from a golden-ratio hash. Shared between
+/// [`Prpg`] and the reseeding codec so compression targets the same
+/// decompressor structure.
+pub(crate) fn phase_mask(j: u64, degree: u32) -> u64 {
+    let mut x = (j + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 31;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 29;
+    let m = if degree == 64 {
+        u64::MAX
+    } else {
+        (1 << degree) - 1
+    };
+    let v = x & m;
+    if v == 0 {
+        1
+    } else {
+        v
+    }
+}
+
+/// A pseudo-random pattern generator for `chains` parallel scan chains.
+///
+/// Each shift cycle advances the internal LFSR once; chain `j` receives the
+/// parity of the LFSR state under a per-chain phase-shifter mask, decoupling
+/// the chains from the plain LFSR sequence (and from each other's shifted
+/// copies — the classic structural fix for channel correlation).
+///
+/// ```
+/// use tve_tpg::{Prpg, ScanConfig};
+/// let cfg = ScanConfig::new(4, 16);
+/// let mut p = Prpg::new(32, 0xDEADBEEF, cfg).unwrap();
+/// let a = p.next_pattern();
+/// let b = p.next_pattern();
+/// assert_ne!(a.stimulus(), b.stimulus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prpg {
+    lfsr: Lfsr,
+    masks: Vec<u64>,
+    config: ScanConfig,
+    generated: u64,
+}
+
+impl Prpg {
+    /// Creates a PRPG with an LFSR of `degree` stages seeded with `seed`,
+    /// feeding `config.chains()` chains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyError`] for unsupported degrees or a zero seed.
+    pub fn new(degree: u32, seed: u64, config: ScanConfig) -> Result<Self, PolyError> {
+        let lfsr = Lfsr::maximal(degree, seed)?;
+        let masks = (0..config.chains() as u64)
+            .map(|j| phase_mask(j, degree))
+            .collect();
+        Ok(Prpg {
+            lfsr,
+            masks,
+            config,
+            generated: 0,
+        })
+    }
+
+    /// The scan geometry this generator fills.
+    pub fn config(&self) -> ScanConfig {
+        self.config
+    }
+
+    /// Patterns generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Generates the next pattern: one bit per chain per shift cycle,
+    /// chain-major packing (chain 0's full image first).
+    pub fn next_pattern(&mut self) -> ScanPattern {
+        let chains = self.config.chains() as usize;
+        let len = self.config.max_chain_len() as usize;
+        let mut bits = BitVec::zeros(chains * len);
+        for cycle in 0..len {
+            self.lfsr.step();
+            let state = self.lfsr.state();
+            for (j, &mask) in self.masks.iter().enumerate() {
+                let bit = (state & mask).count_ones() & 1 == 1;
+                if bit {
+                    bits.set(j * len + cycle, true);
+                }
+            }
+        }
+        self.generated += 1;
+        ScanPattern::new(bits, self.config)
+    }
+
+    /// Skips `n` patterns without materializing them (timing-only mode).
+    pub fn skip_patterns(&mut self, n: u64) {
+        // The LFSR advances chain_len cycles per pattern.
+        let steps = n * self.config.max_chain_len() as u64;
+        for _ in 0..steps {
+            self.lfsr.step();
+        }
+        self.generated += n;
+    }
+}
+
+/// Per-chain one-probability of a weighted pattern generator, realized
+/// structurally by AND/OR-combining `k` LFSR taps (so only powers of two
+/// around ½ are available, as in weighted-random BIST hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Weight {
+    /// p(1) = 1/8 (AND of 3 taps).
+    Eighth,
+    /// p(1) = 1/4 (AND of 2 taps).
+    Quarter,
+    /// p(1) = 1/2 (plain tap).
+    #[default]
+    Half,
+    /// p(1) = 3/4 (OR of 2 taps).
+    ThreeQuarters,
+    /// p(1) = 7/8 (OR of 3 taps).
+    SevenEighths,
+}
+
+impl Weight {
+    /// The nominal one-probability.
+    pub fn probability(self) -> f64 {
+        match self {
+            Weight::Eighth => 0.125,
+            Weight::Quarter => 0.25,
+            Weight::Half => 0.5,
+            Weight::ThreeQuarters => 0.75,
+            Weight::SevenEighths => 0.875,
+        }
+    }
+
+    fn taps(self) -> (u32, bool) {
+        // (number of combined taps, OR instead of AND)
+        match self {
+            Weight::Eighth => (3, false),
+            Weight::Quarter => (2, false),
+            Weight::Half => (1, false),
+            Weight::ThreeQuarters => (2, true),
+            Weight::SevenEighths => (3, true),
+        }
+    }
+}
+
+/// A weighted pseudo-random pattern generator: like [`Prpg`] but with a
+/// per-chain [`Weight`] biasing the one-density — the classic fix for
+/// random-pattern-resistant logic (wide AND/OR cones).
+///
+/// ```
+/// use tve_tpg::{WeightedPrpg, Weight, ScanConfig};
+/// let cfg = ScanConfig::new(2, 256);
+/// let mut g = WeightedPrpg::new(32, 1, cfg, vec![Weight::Quarter, Weight::Half]).unwrap();
+/// let p = g.next_pattern();
+/// let ones0 = p.chain_bits(0).count_ones();
+/// let ones1 = p.chain_bits(1).count_ones();
+/// assert!(ones0 < ones1, "chain 0 is biased toward zero");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedPrpg {
+    lfsr: Lfsr,
+    chain_taps: Vec<(Vec<u64>, bool)>,
+    config: ScanConfig,
+    generated: u64,
+}
+
+impl WeightedPrpg {
+    /// Creates a generator with one [`Weight`] per chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyError`] for unsupported degrees or a zero seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weights.len()` equals the chain count.
+    pub fn new(
+        degree: u32,
+        seed: u64,
+        config: ScanConfig,
+        weights: Vec<Weight>,
+    ) -> Result<Self, PolyError> {
+        assert_eq!(
+            weights.len(),
+            config.chains() as usize,
+            "one weight per chain"
+        );
+        let lfsr = Lfsr::maximal(degree, seed)?;
+        let chain_taps = weights
+            .iter()
+            .enumerate()
+            .map(|(j, w)| {
+                let (k, or) = w.taps();
+                let masks = (0..k as u64)
+                    .map(|t| phase_mask(j as u64 * 8 + t, degree))
+                    .collect();
+                (masks, or)
+            })
+            .collect();
+        Ok(WeightedPrpg {
+            lfsr,
+            chain_taps,
+            config,
+            generated: 0,
+        })
+    }
+
+    /// The scan geometry this generator fills.
+    pub fn config(&self) -> ScanConfig {
+        self.config
+    }
+
+    /// Patterns generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Generates the next weighted pattern (chain-major packing).
+    pub fn next_pattern(&mut self) -> ScanPattern {
+        let chains = self.config.chains() as usize;
+        let len = self.config.max_chain_len() as usize;
+        let mut bits = BitVec::zeros(chains * len);
+        for cycle in 0..len {
+            self.lfsr.step();
+            let state = self.lfsr.state();
+            for (j, (masks, or)) in self.chain_taps.iter().enumerate() {
+                let tap = |m: u64| (state & m).count_ones() & 1 == 1;
+                let bit = if *or {
+                    masks.iter().any(|&m| tap(m))
+                } else {
+                    masks.iter().all(|&m| tap(m))
+                };
+                if bit {
+                    bits.set(j * len + cycle, true);
+                }
+            }
+        }
+        self.generated += 1;
+        ScanPattern::new(bits, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_are_decorrelated() {
+        let cfg = ScanConfig::new(8, 64);
+        let mut p = Prpg::new(32, 1, cfg).unwrap();
+        let pat = p.next_pattern();
+        // No two chains may carry identical images.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let ia = pat.chain_bits(a);
+                let ib = pat.chain_bits(b);
+                assert_ne!(ia, ib, "chains {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn density_is_roughly_half() {
+        let cfg = ScanConfig::new(16, 128);
+        let mut p = Prpg::new(32, 0xABCD, cfg).unwrap();
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let pat = p.next_pattern();
+            ones += pat.stimulus().count_ones();
+            total += pat.stimulus().len();
+        }
+        let density = ones as f64 / total as f64;
+        assert!((0.45..0.55).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_generate() {
+        let cfg = ScanConfig::new(4, 32);
+        let mut a = Prpg::new(32, 7, cfg).unwrap();
+        let mut b = Prpg::new(32, 7, cfg).unwrap();
+        for _ in 0..5 {
+            let _ = a.next_pattern();
+        }
+        b.skip_patterns(5);
+        assert_eq!(a.next_pattern().stimulus(), b.next_pattern().stimulus());
+        assert_eq!(a.generated(), 6);
+        assert_eq!(b.generated(), 6);
+    }
+
+    #[test]
+    fn zero_seed_is_rejected() {
+        assert!(Prpg::new(32, 0, ScanConfig::new(1, 8)).is_err());
+    }
+
+    #[test]
+    fn weighted_densities_approach_nominal() {
+        let cfg = ScanConfig::new(5, 2048);
+        let weights = vec![
+            Weight::Eighth,
+            Weight::Quarter,
+            Weight::Half,
+            Weight::ThreeQuarters,
+            Weight::SevenEighths,
+        ];
+        let mut g = WeightedPrpg::new(32, 0xAB, cfg, weights.clone()).unwrap();
+        let p = g.next_pattern();
+        for (j, w) in weights.iter().enumerate() {
+            let ones = p.chain_bits(j as u32).count_ones() as f64;
+            let density = ones / 2048.0;
+            assert!(
+                (density - w.probability()).abs() < 0.05,
+                "chain {j}: density {density} vs nominal {}",
+                w.probability()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_generator_is_deterministic() {
+        let cfg = ScanConfig::new(2, 64);
+        let w = vec![Weight::Quarter, Weight::Half];
+        let mut a = WeightedPrpg::new(32, 5, cfg, w.clone()).unwrap();
+        let mut b = WeightedPrpg::new(32, 5, cfg, w).unwrap();
+        assert_eq!(a.next_pattern(), b.next_pattern());
+        assert_eq!(a.generated(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per chain")]
+    fn weight_count_mismatch_panics() {
+        let _ = WeightedPrpg::new(32, 1, ScanConfig::new(3, 8), vec![Weight::Half]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Defect diagnosis at the transaction level (the "Debug/Diagnosis"
+//! strategy of the paper's Fig. 1): a part fails its production BIST; the
+//! diagnosis station replays the reproducible pseudo-random patterns
+//! against a golden model, bisecting by signature windows down to the
+//! failing pattern and the defective scan cells.
+//!
+//! Run with `cargo run --example defect_diagnosis`.
+
+use std::rc::Rc;
+
+use tve::core::{diagnose_bist, StuckCell, SyntheticLogicCore, TestWrapper, WrapperConfig};
+use tve::sim::Simulation;
+use tve::tpg::ScanConfig;
+
+fn main() {
+    let scan = ScanConfig::new(8, 96);
+    let defect = StuckCell {
+        chain: 5,
+        position: 42,
+        value: true,
+    };
+    println!("injected defect (unknown to the diagnosis flow): {defect}\n");
+
+    let mut sim = Simulation::new();
+    let mk = |name: &str| {
+        Rc::new(TestWrapper::new(
+            &sim.handle(),
+            WrapperConfig {
+                name: name.to_string(),
+                ..WrapperConfig::default()
+            },
+            Rc::new(SyntheticLogicCore::new("asic-core", scan, 0xFAB)),
+        ))
+    };
+    let golden = mk("golden-model");
+    let dut = mk("device-under-diagnosis");
+    dut.inject_fault(Some(defect));
+
+    let h = sim.handle();
+    let g = Rc::clone(&golden);
+    let d = Rc::clone(&dut);
+    let report = sim.spawn(async move { diagnose_bist(&h, &g, &d, scan, 0xBEEF, 2000, 100).await });
+    let end = sim.run();
+    let report = report.try_take().expect("diagnosis completed");
+
+    println!("diagnosis: {report}");
+    println!("simulated diagnosis time: {} cycles", end.cycles());
+    assert!(report.defective());
+    assert_eq!(report.failing_cells.len(), 1);
+    assert_eq!(report.failing_cells[0].chain, defect.chain);
+    assert_eq!(report.failing_cells[0].position, defect.position);
+    println!(
+        "\nthe located cell matches the injected defect — pseudo-random \
+         reproducibility turns a failing signature into a named scan cell."
+    );
+}

@@ -1,0 +1,79 @@
+//! Test 7 as real software, plus Fig. 1's Repair strategy: the embedded
+//! processor executes the march as a *program* (paper: "using a program
+//! stored in L1 cache"), the failing addresses feed the ATE's repair
+//! action, and the retest ships the part.
+//!
+//! Run with `cargo run --example software_march_and_repair`.
+
+use std::rc::Rc;
+
+use tve::core::{execute_schedule, Schedule};
+use tve::memtest::{Fault, MarchTest};
+use tve::sim::Simulation;
+use tve::soc::cpu::{assemble_march, march_regs, Cpu};
+use tve::soc::{build_test_runs, initiators, JpegEncoderSoc, SocConfig, SocTestPlan, MEM_BASE};
+use tve::tlm::TamIf;
+
+const WORDS: u32 = 128;
+
+fn soc_with_fault(sim: &Simulation) -> JpegEncoderSoc {
+    let mut config = SocConfig::small();
+    config.memory_words = WORDS;
+    config.memory_spares = 4;
+    let soc = JpegEncoderSoc::build(&sim.handle(), config);
+    soc.memory.inject(Fault::stuck_at(77, 13, true));
+    soc
+}
+
+fn main() {
+    // 1. The march as software on the embedded CPU.
+    let mut sim = Simulation::new();
+    let soc = soc_with_fault(&sim);
+    let cpu = Cpu::new(
+        &sim.handle(),
+        Rc::clone(&soc.bus) as Rc<dyn TamIf>,
+        initiators::PROCESSOR,
+    );
+    let program = assemble_march(&MarchTest::mats_plus(), MEM_BASE, WORDS);
+    println!(
+        "MATS+ assembled to {} instructions (the 'program stored in L1 cache')",
+        program.len()
+    );
+    let outcome = sim.spawn(async move { cpu.run(&program).await });
+    sim.run();
+    let outcome = outcome.try_take().expect("program halted");
+    let sw_errors = outcome.regs[march_regs::ERRORS as usize];
+    println!(
+        "software march: {outcome}; {} mismatching reads ({:.1} cycles/op)",
+        sw_errors,
+        outcome.cycles as f64 / outcome.regs[march_regs::OPS as usize] as f64
+    );
+    assert!(sw_errors > 0, "the injected defect must be caught");
+
+    // 2. The same detection through the hardware BIST engine (test 6),
+    //    which also reports the failing addresses the ATE needs.
+    let mut sim = Simulation::new();
+    let soc = soc_with_fault(&sim);
+    let tests = build_test_runs(&soc, &SocTestPlan::small());
+    let result = execute_schedule(&mut sim, tests, &Schedule::new("t6", vec![vec![5]])).unwrap();
+    let t6 = &result.slots[0].outcome;
+    println!("hardware engine: {t6}");
+    println!("failing addresses: {:?}", t6.failing_addresses);
+
+    // 3. Repair and retest.
+    for &addr in &t6.failing_addresses {
+        assert!(soc.memory.repair(addr), "spares must suffice");
+    }
+    println!(
+        "repaired {} word(s) ({} spares used)",
+        t6.failing_addresses.len(),
+        soc.memory.spares_used()
+    );
+    let tests = build_test_runs(&soc, &SocTestPlan::small());
+    let retest =
+        execute_schedule(&mut sim, tests, &Schedule::new("retest", vec![vec![5]])).unwrap();
+    let again = &retest.slots[0].outcome;
+    println!("retest: {again}");
+    assert_eq!(again.mismatches, 0, "the repaired part must pass");
+    println!("\ndetect (software or hardware) -> repair -> retest: the part ships.");
+}

@@ -1,0 +1,43 @@
+//! Waveform export: run a test schedule, export the TAM-utilization
+//! profile as a VCD file for any standard waveform viewer — the visual
+//! counterpart of Table I's peak/average figures.
+//!
+//! Run with `cargo run --release --example waveform_export`.
+
+use tve::core::execute_schedule;
+use tve::sim::{write_vcd, Simulation};
+use tve::soc::{build_test_runs, paper_schedules, JpegEncoderSoc, SocConfig, SocTestPlan};
+
+fn main() -> std::io::Result<()> {
+    let mut config = SocConfig::paper();
+    config.memory_words = 2622;
+    config.monitor_window = tve::sim::Duration::cycles(16_384);
+    let plan = SocTestPlan::paper_scaled(100);
+
+    // Schedule 4: the concurrent, compressed scenario with the 100 % peak.
+    let schedule = &paper_schedules()[3];
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), config);
+    let tests = build_test_runs(&soc, &plan);
+    let result = execute_schedule(&mut sim, tests, schedule).expect("well-formed schedule");
+    assert!(result.clean());
+
+    let trace = soc.bus.monitor().to_trace("tam_utilization_permille");
+    let path = std::env::temp_dir().join("tve_schedule4_utilization.vcd");
+    let mut file = std::fs::File::create(&path)?;
+    write_vcd(&[&trace], &mut file)?;
+
+    println!(
+        "{}: {} cycles simulated, {} utilization samples",
+        schedule.name,
+        result.total_cycles,
+        trace.len()
+    );
+    println!("VCD written to {}", path.display());
+    println!(
+        "peak window: {} permille    open it in GTKWave or any VCD viewer",
+        trace.max().unwrap_or(0)
+    );
+    assert!(trace.max().unwrap_or(0) > 900, "schedule 4 saturates");
+    Ok(())
+}

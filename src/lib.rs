@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # tve — Test Exploration and Validation using Transaction Level Models
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! Kochte et al., *"Test Exploration and Validation Using Transaction Level
+//! Models"* (DATE 2009).
+//!
+//! The workspace layers are:
+//!
+//! * [`sim`] — deterministic discrete-event kernel with async processes,
+//! * [`tlm`] — transaction-level modeling layer (payloads, TAM interface,
+//!   bus channel, utilization monitors),
+//! * [`tpg`] — test pattern generation (LFSR/PRPG/MISR, compression),
+//! * [`memtest`] — memory fault models and march tests,
+//! * [`core`] — the paper's contribution: TLMs of test infrastructure
+//!   (wrappers, TAMs, pattern sources, codecs, test controller, ATE),
+//! * [`soc`] — the JPEG encoder SoC case study of Section IV,
+//! * [`sched`] — test scheduling and design-space exploration.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+
+pub use tve_core as core;
+pub use tve_memtest as memtest;
+pub use tve_netlist as netlist;
+pub use tve_noc as noc;
+pub use tve_sched as sched;
+pub use tve_sim as sim;
+pub use tve_soc as soc;
+pub use tve_tlm as tlm;
+pub use tve_tpg as tpg;

@@ -1,0 +1,104 @@
+//! End-to-end test *validation*: injected defects must change what the
+//! test strategy observes — a stuck scan cell flips the BIST signature
+//! through the full TAM path, and memory faults surface as march
+//! mismatches through the bus.
+
+use tve::core::{execute_schedule, DataPolicy, Schedule, StuckCell};
+use tve::memtest::Fault;
+use tve::sim::Simulation;
+use tve::soc::{build_test_runs, JpegEncoderSoc, SocConfig, SocTestPlan};
+
+fn run_t1_signature(fault: Option<StuckCell>) -> u64 {
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), SocConfig::small());
+    soc.proc_wrapper.inject_fault(fault);
+    let tests = build_test_runs(&soc, &SocTestPlan::small());
+    let schedule = Schedule::new("t1 only", vec![vec![0]]);
+    let result = execute_schedule(&mut sim, tests, &schedule).unwrap();
+    result.slots[0]
+        .outcome
+        .signature
+        .expect("full-data run yields a signature")
+}
+
+#[test]
+fn stuck_scan_cell_changes_the_bist_signature() {
+    let clean = run_t1_signature(None);
+    let faulty = run_t1_signature(Some(StuckCell {
+        chain: 1,
+        position: 30,
+        value: false,
+    }));
+    assert_ne!(clean, faulty, "the defect must be observable");
+    assert_eq!(clean, run_t1_signature(None), "clean runs are reproducible");
+}
+
+#[test]
+fn different_defects_give_different_signatures() {
+    let a = run_t1_signature(Some(StuckCell {
+        chain: 0,
+        position: 1,
+        value: true,
+    }));
+    let b = run_t1_signature(Some(StuckCell {
+        chain: 3,
+        position: 60,
+        value: true,
+    }));
+    assert_ne!(a, b, "signatures carry diagnostic information");
+}
+
+#[test]
+fn memory_fault_surfaces_as_march_mismatches_through_the_bus() {
+    let mut config = SocConfig::small();
+    config.memory_words = 128;
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), config);
+    soc.memory.inject(Fault::stuck_at(77, 13, true));
+    soc.memory.inject(Fault::address_alias(3, 99));
+    let tests = build_test_runs(&soc, &SocTestPlan::small());
+    // Test 6 = index 5: controller-driven march.
+    let schedule = Schedule::new("t6 only", vec![vec![5]]);
+    let result = execute_schedule(&mut sim, tests, &schedule).unwrap();
+    let outcome = &result.slots[0].outcome;
+    assert!(outcome.mismatches > 0, "{outcome}");
+    assert_eq!(outcome.errors, 0, "faults are data errors, not bus errors");
+}
+
+#[test]
+fn fault_free_soc_passes_the_full_test_suite() {
+    let mut config = SocConfig::small();
+    config.memory_words = 64;
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), config);
+    let tests = build_test_runs(&soc, &SocTestPlan::small());
+    let schedule = Schedule::sequential("all", 7);
+    let result = execute_schedule(&mut sim, tests, &schedule).unwrap();
+    assert!(result.clean(), "{result}");
+    assert_eq!(result.slots.len(), 7);
+}
+
+#[test]
+fn policy_volume_and_full_agree_on_timing() {
+    // The exploration mode (volume) and the validation mode (full) must
+    // report identical schedule timing — only data differs.
+    fn total(policy: DataPolicy) -> u64 {
+        let mut config = SocConfig::small();
+        config.memory_words = 64;
+        config.policy = policy;
+        let mut sim = Simulation::new();
+        let soc = JpegEncoderSoc::build(&sim.handle(), config);
+        let plan = SocTestPlan {
+            policy,
+            ..SocTestPlan::small()
+        };
+        let tests = build_test_runs(&soc, &plan);
+        // Compressed full-data streams differ in size from the 50x volume
+        // model, so compare on the uncompressed subset {T1, T2, T4, T5}.
+        let schedule = Schedule::new("subset", vec![vec![0], vec![1], vec![3], vec![4]]);
+        execute_schedule(&mut sim, tests, &schedule)
+            .unwrap()
+            .total_cycles
+    }
+    assert_eq!(total(DataPolicy::Volume), total(DataPolicy::Full));
+}

@@ -1,0 +1,88 @@
+//! Power-profile validation: the effect the paper cites power-aware
+//! scheduling for — concurrent schedules trade peak power for test time,
+//! while total test energy stays (nearly) schedule-invariant.
+
+use tve::soc::{paper_schedules, run_scenario, PowerParams, SocConfig, SocTestPlan};
+
+fn powered_config() -> SocConfig {
+    let mut config = SocConfig::paper();
+    config.memory_words = 2622;
+    config.power = Some(PowerParams {
+        window: 16_384,
+        ..PowerParams::default()
+    });
+    config
+}
+
+#[test]
+fn concurrency_raises_peak_power_but_not_energy() {
+    let config = powered_config();
+    let plan = SocTestPlan::paper_scaled(200);
+    let metrics: Vec<_> = paper_schedules()
+        .iter()
+        .map(|s| run_scenario(&config, &plan, s).expect("well-formed"))
+        .collect();
+    let power: Vec<_> = metrics
+        .iter()
+        .map(|m| m.power.as_ref().expect("power metering enabled"))
+        .collect();
+
+    // Peak power: each concurrent schedule peaks above its sequential
+    // counterpart (same tests, overlapped).
+    assert!(
+        power[2].peak > power[0].peak * 1.15,
+        "schedule 3 peak {} vs schedule 1 peak {}",
+        power[2].peak,
+        power[0].peak
+    );
+    assert!(
+        power[3].peak > power[1].peak * 1.15,
+        "schedule 4 peak {} vs schedule 2 peak {}",
+        power[3].peak,
+        power[1].peak
+    );
+
+    // Average power rises with concurrency (same energy, less time).
+    assert!(power[3].average > power[1].average);
+
+    // Energy is schedule-invariant for the same test set (schedules 1 and
+    // 3 run tests {1,2,4,5,7}; 2 and 4 run {1,3,4,5,6}).
+    let rel = |a: f64, b: f64| (a - b).abs() / b;
+    assert!(
+        rel(power[0].energy, power[2].energy) < 0.02,
+        "energy 1 vs 3: {} vs {}",
+        power[0].energy,
+        power[2].energy
+    );
+    assert!(
+        rel(power[1].energy, power[3].energy) < 0.02,
+        "energy 2 vs 4: {} vs {}",
+        power[1].energy,
+        power[3].energy
+    );
+
+    // Every scenario attributes energy to the bus, the wrappers and the
+    // memory.
+    for p in &power {
+        let sources: Vec<&str> = p.per_source.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(sources.contains(&"system-bus/TAM"), "{sources:?}");
+        assert!(sources.contains(&"proc-wrapper"), "{sources:?}");
+        assert!(sources.contains(&"memory"), "{sources:?}");
+    }
+}
+
+#[test]
+fn power_metering_does_not_change_timing() {
+    let plan = SocTestPlan::paper_scaled(200);
+    let mut with = SocConfig::paper();
+    with.memory_words = 1311;
+    let mut without = with.clone();
+    with.power = Some(PowerParams::default());
+    without.power = None;
+    let schedule = &paper_schedules()[3];
+    let a = run_scenario(&with, &plan, schedule).unwrap();
+    let b = run_scenario(&without, &plan, schedule).unwrap();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert!(a.power.is_some());
+    assert!(b.power.is_none());
+}

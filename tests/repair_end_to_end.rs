@@ -1,0 +1,84 @@
+//! Built-in repair, end-to-end through the TLM: the ATE runs the memory
+//! test, learns the failing addresses from the test responses, "executes
+//! repair actions" (paper Section III.E) by remapping those words to
+//! spares, and the retest ships the part — Fig. 1's Repair strategy.
+
+use tve::core::{execute_schedule, Schedule, TestOutcome};
+use tve::memtest::Fault;
+use tve::sim::Simulation;
+use tve::soc::{build_test_runs, JpegEncoderSoc, SocConfig, SocTestPlan};
+
+fn mini() -> SocConfig {
+    let mut c = SocConfig::small();
+    c.memory_words = 128;
+    c.memory_spares = 4;
+    c
+}
+
+fn run_t6(soc: &JpegEncoderSoc, sim: &mut Simulation) -> TestOutcome {
+    let tests = build_test_runs(soc, &SocTestPlan::small());
+    let schedule = Schedule::new("t6 only", vec![vec![5]]);
+    let result = execute_schedule(sim, tests, &schedule).unwrap();
+    result.slots[0].outcome.clone()
+}
+
+#[test]
+fn detect_repair_retest_ships_the_part() {
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), mini());
+    soc.memory.inject(Fault::stuck_at(17, 9, true));
+    soc.memory.inject(Fault::stuck_at(90, 0, false));
+
+    // 1. Detect: the march reports mismatches with their addresses.
+    let first = run_t6(&soc, &mut sim);
+    assert!(first.mismatches > 0);
+    assert!(first.failing_addresses.contains(&17), "{first}");
+    assert!(first.failing_addresses.contains(&90), "{first}");
+
+    // 2. Repair: the ATE remaps every failing word to a spare.
+    for &addr in &first.failing_addresses {
+        assert!(soc.memory.repair(addr), "spares must suffice");
+    }
+    assert_eq!(soc.memory.spares_used(), first.failing_addresses.len());
+
+    // 3. Retest: the repaired part passes.
+    let second = run_t6(&soc, &mut sim);
+    assert_eq!(second.mismatches, 0, "{second}");
+    assert!(second.failing_addresses.is_empty());
+}
+
+#[test]
+fn unrepairable_part_stays_failing() {
+    let mut sim = Simulation::new();
+    let mut config = mini();
+    config.memory_spares = 1;
+    let soc = JpegEncoderSoc::build(&sim.handle(), config);
+    for addr in [3u32, 40, 77] {
+        soc.memory.inject(Fault::stuck_at(addr, 5, true));
+    }
+    let first = run_t6(&soc, &mut sim);
+    assert!(first.failing_addresses.len() >= 3);
+    let repaired = first
+        .failing_addresses
+        .iter()
+        .filter(|&&a| soc.memory.repair(a))
+        .count();
+    assert_eq!(repaired, 1, "only one spare available");
+    let second = run_t6(&soc, &mut sim);
+    assert!(second.mismatches > 0, "two faults remain: scrap the part");
+}
+
+#[test]
+fn repair_does_not_change_test_timing() {
+    // Repair is a data-path remap; the schedule's timing (the exploration
+    // currency) is untouched.
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), mini());
+    let clean = run_t6(&soc, &mut sim);
+
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), mini());
+    soc.memory.inject(Fault::stuck_at(17, 9, true));
+    let faulty = run_t6(&soc, &mut sim);
+    assert_eq!(clean.duration(), faulty.duration());
+}

@@ -1,0 +1,65 @@
+//! Shape assertions for Table I, at 1/100 scale so the test stays fast:
+//! the orderings and crossovers the paper reports must hold —
+//! schedule 4 < 2 < 3 < 1 in test length, concurrency raises peak and
+//! average utilization, and the concurrent compressed schedule saturates
+//! the TAM.
+
+use tve::soc::{paper_schedules, run_scenario, ScenarioMetrics, SocConfig, SocTestPlan};
+
+fn scaled_run() -> Vec<ScenarioMetrics> {
+    let mut config = SocConfig::paper();
+    // Scale the memory with the pattern counts so the test mix keeps the
+    // paper's proportions.
+    config.memory_words = 2622;
+    let plan = SocTestPlan::paper_scaled(100);
+    paper_schedules()
+        .iter()
+        .map(|s| run_scenario(&config, &plan, s).expect("well-formed"))
+        .collect()
+}
+
+#[test]
+fn table1_shape_holds_at_reduced_scale() {
+    let m = scaled_run();
+    for metrics in &m {
+        assert!(metrics.result.clean(), "{}", metrics.result);
+    }
+
+    // Test length ordering: 4 < 2 < 3 < 1 (paper: 167 < 184 < 263 < 281).
+    assert!(m[3].total_cycles < m[1].total_cycles, "4 < 2");
+    assert!(m[1].total_cycles < m[2].total_cycles, "2 < 3");
+    assert!(m[2].total_cycles < m[0].total_cycles, "3 < 1");
+
+    // Concurrency shortens: schedule 3 vs 1 and 4 vs 2.
+    assert!(m[2].total_cycles < m[0].total_cycles);
+    assert!(m[3].total_cycles < m[1].total_cycles);
+
+    // Peak utilization: sequential schedules peak alike (the BIST's share),
+    // concurrency raises the peak, schedule 4 saturates.
+    assert!((m[0].peak_utilization - m[1].peak_utilization).abs() < 0.1);
+    assert!(m[2].peak_utilization > m[0].peak_utilization + 0.05);
+    assert!(
+        m[3].peak_utilization > 0.9,
+        "schedule 4 must saturate the TAM"
+    );
+
+    // Average utilization: the compressed+concurrent schedule works the
+    // TAM hardest on average (paper: 64 % vs 45/58/47).
+    assert!(m[3].avg_utilization > m[0].avg_utilization);
+    assert!(m[3].avg_utilization > m[2].avg_utilization);
+
+    // Peak >= average always.
+    for metrics in &m {
+        assert!(metrics.peak_utilization >= metrics.avg_utilization - 1e-9);
+    }
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    let a = scaled_run();
+    let b = scaled_run();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.total_cycles, y.total_cycles);
+        assert_eq!(x.peak_utilization, y.peak_utilization);
+    }
+}

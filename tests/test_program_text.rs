@@ -1,0 +1,61 @@
+//! End-to-end: a *textual* ATE test program — parsed from the assembly the
+//! paper's "complex piece of software" deserves — executed by the Virtual
+//! ATE against the SoC TLM.
+
+use std::rc::Rc;
+
+use tve::core::{AteError, TestProgram};
+use tve::sim::Simulation;
+use tve::soc::{build_test_runs, JpegEncoderSoc, SocConfig, SocTestPlan};
+
+fn execute(text: &str) -> tve::core::ProgramReport {
+    let program = TestProgram::parse("textual", text).expect("program parses");
+    let mut sim = Simulation::new();
+    let soc = JpegEncoderSoc::build(&sim.handle(), SocConfig::small());
+    let runs = build_test_runs(&soc, &SocTestPlan::small());
+    let ate = Rc::new(soc.virtual_ate());
+    let report = sim.spawn(async move { ate.execute(&program, runs).await });
+    sim.run();
+    report.try_take().expect("program completed")
+}
+
+#[test]
+fn textual_program_drives_a_clean_session() {
+    // Configure everything in one ring rotation (proc bist, others
+    // functional, dct int-test, codec+EBI on), then run tests 0 and 4
+    // concurrently — the first phase of the paper's schedule 3.
+    let report = execute(
+        "# schedule 3, phase 1\n\
+         ring bist,0,inttest,0,1,1\n\
+         run 0 4\n\
+         wait 100\n",
+    );
+    assert!(report.passed(), "{:?}", report.errors);
+    assert_eq!(report.outcomes.len(), 2);
+    assert!(report.outcomes.iter().all(|o| o.clean()));
+    let names: Vec<&str> = report.outcomes.iter().map(|o| o.name.as_str()).collect();
+    assert!(names.contains(&"T1 proc BIST"));
+    assert!(names.contains(&"T5 dct det"));
+}
+
+#[test]
+fn textual_program_with_wrong_golden_signature_fails_validation() {
+    let report = execute(
+        "ring bist,0,0,0,1,1\n\
+         run 0\n\
+         expect 0 0x1234\n",
+    );
+    assert!(!report.passed());
+    assert!(matches!(
+        report.errors[0],
+        AteError::SignatureMismatch { wrapper: 0, .. }
+    ));
+}
+
+#[test]
+fn textual_round_trip_preserves_behaviour() {
+    let text = "ring bist,0,inttest,0,1,1\nrun 0 4\nwait 100\n";
+    let program = TestProgram::parse("p", text).unwrap();
+    let reparsed = TestProgram::parse("p", &program.to_string()).unwrap();
+    assert_eq!(program, reparsed);
+}
