@@ -3,8 +3,11 @@
 //! from DESIGN.md — data policy (volume vs full), posted-queue depth of
 //! the memory BIST engine, and the monitor window.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tve_core::DataPolicy;
+use tve_sched::{default_workers, Farm, ScenarioJob};
 use tve_sim::Duration;
 use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
 
@@ -84,10 +87,103 @@ fn bench_monitor_window_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// The validation workload the farm exists for: every paper schedule at
+/// every TAM width of a small design-space sweep, as one batch.
+fn farm_sweep_jobs() -> Vec<ScenarioJob> {
+    const WIDTHS: [u32; 4] = [16, 32, 48, 64];
+    let plan = SocTestPlan::paper_scaled(200);
+    paper_schedules()
+        .into_iter()
+        .flat_map(|schedule| {
+            let plan = &plan;
+            WIDTHS.into_iter().map(move |width| {
+                let mut config = scaled_config();
+                config.memory_words = 1311;
+                config.bus_width_bits = width;
+                ScenarioJob::labeled(
+                    format!("{} @ {width}b TAM", schedule.name),
+                    config,
+                    plan.clone(),
+                    schedule.clone(),
+                )
+            })
+        })
+        .collect()
+}
+
+fn bench_farm_vs_sequential(c: &mut Criterion) {
+    let jobs = farm_sweep_jobs();
+    // The farmed pass defaults to 4 workers even when the cgroup hides the
+    // host's parallelism (`TVE_JOBS` still wins via default_workers).
+    let workers = default_workers().max(4);
+
+    // One explicit wall-clock comparison, recorded machine-readably so CI
+    // (and the acceptance gate) can check the speedup without parsing
+    // criterion's prose.
+    let t = Instant::now();
+    let sequential = Farm::with_workers(1).run(&jobs);
+    let sequential_wall = t.elapsed();
+    let t = Instant::now();
+    let farmed = Farm::with_workers(workers).run(&jobs);
+    let farm_wall = t.elapsed();
+    assert!(sequential.all_ok() && farmed.all_ok());
+    let digests = |b: &tve_sched::BatchReport| -> Vec<u64> {
+        b.outcomes
+            .iter()
+            .map(|o| o.expect_metrics().digest())
+            .collect()
+    };
+    let deterministic = digests(&sequential) == digests(&farmed);
+    assert!(deterministic, "farming must not change the metrics");
+    let speedup = sequential_wall.as_secs_f64() / farm_wall.as_secs_f64();
+    // Wall-clock speedup is bounded by the cores the host actually grants;
+    // record that bound so the number is interpretable (a 1-core CI runner
+    // legitimately reports ~1x).
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if host_cpus >= 2 {
+        assert!(
+            speedup >= 2.0,
+            "farm should be >=2x on a {host_cpus}-core host, got {speedup:.2}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"farm_vs_sequential\",\n  \"scale\": 200,\n  \
+         \"jobs\": {},\n  \"schedules\": 4,\n  \"tam_widths\": [16, 32, 48, 64],\n  \
+         \"farm_workers\": {workers},\n  \"host_cpus\": {host_cpus},\n  \
+         \"sequential_s\": {:.4},\n  \
+         \"farm_s\": {:.4},\n  \"speedup\": {:.2},\n  \"deterministic\": {deterministic}\n}}\n",
+        jobs.len(),
+        sequential_wall.as_secs_f64(),
+        farm_wall.as_secs_f64(),
+        speedup,
+    );
+    let path = std::env::var("TVE_FARM_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/farm_bench.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write farm_bench.json");
+    println!("farm_vs_sequential: {speedup:.2}x with {workers} workers -> {path}");
+
+    let mut g = c.benchmark_group("scenario/farm_validation");
+    g.sample_size(10);
+    for n in [1usize, workers] {
+        g.bench_with_input(BenchmarkId::new("workers", n), &n, |b, &n| {
+            let farm = Farm::with_workers(n);
+            b.iter(|| {
+                let report = farm.run(&jobs);
+                assert!(report.all_ok());
+                report.outcomes.len()
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_schedules,
     bench_policy_ablation,
-    bench_monitor_window_ablation
+    bench_monitor_window_ablation,
+    bench_farm_vs_sequential
 );
 criterion_main!(benches);

@@ -7,9 +7,15 @@
 //! become the bottleneck.
 //!
 //! Usage: `compression_sweep [--scale N]` (default 20).
+//!
+//! All (ratio, schedule) points are independent simulations and run as
+//! one farm batch (`TVE_JOBS` overrides the worker count).
 
 use tve_bench::format_row;
-use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
+use tve_sched::{run_scenarios, ScenarioJob};
+use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+
+const RATIOS: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,13 +45,36 @@ fn main() {
             &widths
         )
     );
+    // The whole sweep — every ratio under both schedules — is one farm
+    // batch; results come back in submission order.
+    let jobs: Vec<ScenarioJob> = RATIOS
+        .iter()
+        .flat_map(|&ratio| {
+            let mut config = SocConfig::paper();
+            config.memory_words = (262_144 / scale as u32).max(64);
+            config.decompress_ratio = ratio;
+            [
+                ScenarioJob::labeled(
+                    format!("{ratio:.0}x sched 2"),
+                    config.clone(),
+                    plan.clone(),
+                    schedules[1].clone(),
+                ),
+                ScenarioJob::labeled(
+                    format!("{ratio:.0}x sched 4"),
+                    config,
+                    plan.clone(),
+                    schedules[3].clone(),
+                ),
+            ]
+        })
+        .collect();
+    let batch = run_scenarios(&jobs);
+
     let mut prev2 = f64::INFINITY;
-    for ratio in [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0] {
-        let mut config = SocConfig::paper();
-        config.memory_words = (262_144 / scale as u32).max(64);
-        config.decompress_ratio = ratio;
-        let m2 = run_scenario(&config, &plan, &schedules[1]).expect("well-formed");
-        let m4 = run_scenario(&config, &plan, &schedules[3]).expect("well-formed");
+    for (pair, &ratio) in batch.outcomes.chunks(2).zip(RATIOS.iter()) {
+        let m2 = pair[0].expect_metrics();
+        let m4 = pair[1].expect_metrics();
         assert!(m2.result.clean() && m4.result.clean());
         println!(
             "{}",

@@ -5,7 +5,7 @@
 //!
 //! Usage: `exploration [--power-budget N] [--scale N]`.
 
-use tve_sched::{estimate_tasks, explore, validate_schedule, Constraints};
+use tve_sched::{default_workers, estimate_tasks, explore, validate_schedules, Constraints};
 use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
 
 fn main() {
@@ -52,11 +52,22 @@ fn main() {
 
     let sim_plan = SocTestPlan::paper_scaled(scale);
     let sim_tasks = estimate_tasks(&config, &sim_plan);
-    println!("\nvalidating the top three by TLM simulation (1/{scale} scale):");
-    for c in report.candidates.iter().take(3) {
-        match validate_schedule(&config, &sim_plan, &sim_tasks, &c.schedule) {
-            Ok(v) => println!("  {:<34} {v}", c.schedule.name),
-            Err(e) => println!("  {:<34} invalid: {e}", c.schedule.name),
+    println!(
+        "\nvalidating the top three by TLM simulation \
+         (1/{scale} scale, farm of {} workers):",
+        default_workers()
+    );
+    let finalists: Vec<_> = report
+        .candidates
+        .iter()
+        .take(3)
+        .map(|c| c.schedule.clone())
+        .collect();
+    let validations = validate_schedules(&config, &sim_plan, &sim_tasks, &finalists);
+    for (schedule, validation) in finalists.iter().zip(&validations) {
+        match validation {
+            Ok(v) => println!("  {:<34} {v}", schedule.name),
+            Err(e) => println!("  {:<34} invalid: {e}", schedule.name),
         }
     }
 }

@@ -4,9 +4,13 @@
 //!
 //! Usage: `table1 [--scale N]` — `N` divides every pattern count (and the
 //! memory size stays full); `--scale 1` (default) is the paper-scale run.
+//!
+//! The four scenarios are independent simulations, so they are fanned
+//! over the validation farm (`TVE_JOBS` overrides the worker count).
 
 use tve_bench::{format_row, rel_err_pct};
-use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
+use tve_sched::{run_scenarios, ScenarioJob};
+use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
 
 /// Paper values: (peak %, avg %, test length Mcycles, CPU s).
 const PAPER: [(f64, f64, f64, f64); 4] = [
@@ -52,8 +56,13 @@ fn main() {
     let detail = args.iter().any(|a| a == "--detail");
     let mut max_err: f64 = 0.0;
     let mut volumes = Vec::new();
-    for (i, schedule) in paper_schedules().iter().enumerate() {
-        let m = run_scenario(&config, &plan, schedule).expect("paper schedules are well-formed");
+    let jobs: Vec<ScenarioJob> = paper_schedules()
+        .into_iter()
+        .map(|s| ScenarioJob::new(config.clone(), plan.clone(), s))
+        .collect();
+    let batch = run_scenarios(&jobs);
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        let m = outcome.expect_metrics();
         if detail {
             eprintln!("{}", m.result);
         }
@@ -101,6 +110,12 @@ fn main() {
     println!(
         "CPU column: our host vs the paper's 2.4 GHz 2009 workstation — only \
          the 'minutes, not days' magnitude is comparable."
+    );
+    println!(
+        "farm: {} workers, batch wall {:.1}s vs {:.1}s summed per-scenario CPU",
+        batch.workers,
+        batch.wall.as_secs_f64(),
+        batch.cpu_time().as_secs_f64()
     );
     println!("\nATE-stored test data (deterministic external tests, stimuli + responses):");
     for (i, bits) in volumes.iter().enumerate() {

@@ -4,8 +4,12 @@
 //! wires.
 //!
 //! Usage: `tam_width_staircase [--max-width N]` (default 64).
+//!
+//! Every width is an independent packing problem, so the sweep fans over
+//! the validation farm's generic worker pool (`TVE_JOBS` overrides the
+//! width).
 
-use tve_sched::{makespan_lower_bound, pack_tam, tam_width_sweep, wrapper_staircase, CoreTestSpec};
+use tve_sched::{makespan_lower_bound, pack_tam, wrapper_staircase, CoreTestSpec, Farm};
 
 fn case_study_specs() -> Vec<CoreTestSpec> {
     // Test data volumes of the paper's seven sequences, folded per core
@@ -38,19 +42,25 @@ fn main() {
         "{:>6}  {:>16}  {:>16}  {:>12}",
         "width", "makespan (Mcy)", "lower bound", "utilization"
     );
-    let sweep = tam_width_sweep(&specs, 1..=max_width);
-    let mut last = u64::MAX;
-    for (w, makespan) in sweep {
+    // One packing problem per width, evaluated concurrently; the staircase
+    // filter runs afterwards over the width-ordered results.
+    let min_width = specs.iter().map(|s| s.min_width).max().unwrap_or(1);
+    let widths: Vec<u32> = (min_width..=max_width).collect();
+    let (points, _, _) = Farm::new().run_map(&widths, |&w| {
         let a = pack_tam(&specs, w);
         a.assert_valid(&specs);
-        let bound = makespan_lower_bound(&specs, w);
+        (a.makespan, makespan_lower_bound(&specs, w), a.utilization())
+    });
+    let mut last = u64::MAX;
+    for (&w, (_, point)) in widths.iter().zip(points) {
+        let (makespan, bound, utilization) = point.expect("packing panicked");
         // Print only the staircase steps (where the curve actually drops).
         if makespan < last {
             println!(
                 "{w:>6}  {:>16.1}  {:>16.1}  {:>11.0}%",
                 makespan as f64 / 1e6,
                 bound as f64 / 1e6,
-                a.utilization() * 100.0
+                utilization * 100.0
             );
             last = makespan;
         }

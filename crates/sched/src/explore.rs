@@ -5,9 +5,10 @@
 use std::fmt;
 
 use tve_core::Schedule;
-use tve_soc::{run_scenario, ScenarioMetrics, SocConfig, SocTestPlan};
+use tve_soc::{ScenarioMetrics, SocConfig, SocTestPlan};
 
 use crate::estimate::{estimate_schedule, ScheduleEstimate};
+use crate::farm::{Farm, JobError, ScenarioJob};
 use crate::packing::{greedy_schedule, optimal_schedule, sequential_schedule};
 use crate::task::{Constraints, TestTask};
 
@@ -129,30 +130,128 @@ impl fmt::Display for ValidationReport {
     }
 }
 
+fn report_from_metrics(
+    tasks: &[TestTask],
+    schedule: &Schedule,
+    simulated: ScenarioMetrics,
+) -> ValidationReport {
+    let estimate = estimate_schedule(tasks, schedule);
+    let err = (estimate.total_cycles as f64 - simulated.total_cycles as f64)
+        / simulated.total_cycles as f64
+        * 100.0;
+    ValidationReport {
+        estimate,
+        simulated,
+        length_error_pct: err,
+    }
+}
+
+/// Validates a batch of candidate schedules by full TLM simulation of the
+/// JPEG SoC, fanned over the validation [`Farm`] (worker count from
+/// `TVE_JOBS` / available parallelism). Reports come back in schedule
+/// order; a malformed or panicking candidate yields a per-schedule
+/// [`JobError`] without aborting its siblings.
+pub fn validate_schedules(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    tasks: &[TestTask],
+    schedules: &[Schedule],
+) -> Vec<Result<ValidationReport, JobError>> {
+    validate_schedules_on(&Farm::new(), config, plan, tasks, schedules)
+}
+
+/// [`validate_schedules`] on an explicitly sized farm.
+pub fn validate_schedules_on(
+    farm: &Farm,
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    tasks: &[TestTask],
+    schedules: &[Schedule],
+) -> Vec<Result<ValidationReport, JobError>> {
+    let jobs: Vec<ScenarioJob> = schedules
+        .iter()
+        .map(|s| ScenarioJob::new(config.clone(), plan.clone(), s.clone()))
+        .collect();
+    farm.run(&jobs)
+        .outcomes
+        .into_iter()
+        .zip(schedules)
+        .map(|(outcome, schedule)| {
+            outcome
+                .result
+                .map(|metrics| report_from_metrics(tasks, schedule, metrics))
+        })
+        .collect()
+}
+
 /// Validates a candidate schedule by full TLM simulation of the JPEG SoC
 /// and quantifies the coarse estimate's error — the "validation of test
-/// strategies and schedules" of the paper's title.
+/// strategies and schedules" of the paper's title. Single-schedule
+/// convenience over [`validate_schedules`].
 ///
 /// # Errors
 ///
 /// Returns [`tve_core::ScheduleError`] if `schedule` is malformed for the
 /// seven-test plan.
+///
+/// # Panics
+///
+/// Panics if the underlying simulation itself panics (a model bug).
 pub fn validate_schedule(
     config: &SocConfig,
     plan: &SocTestPlan,
     tasks: &[TestTask],
     schedule: &Schedule,
 ) -> Result<ValidationReport, tve_core::ScheduleError> {
-    let estimate = estimate_schedule(tasks, schedule);
-    let simulated = run_scenario(config, plan, schedule)?;
-    let err = (estimate.total_cycles as f64 - simulated.total_cycles as f64)
-        / simulated.total_cycles as f64
-        * 100.0;
-    Ok(ValidationReport {
-        estimate,
-        simulated,
-        length_error_pct: err,
+    let report = validate_schedules_on(
+        &Farm::with_workers(1),
+        config,
+        plan,
+        tasks,
+        std::slice::from_ref(schedule),
+    )
+    .pop()
+    .expect("one schedule in, one report out");
+    report.map_err(|e| match e {
+        JobError::Schedule(e) => e,
+        JobError::Panicked(msg) => panic!("simulation panicked: {msg}"),
     })
+}
+
+/// A candidate together with its simulation-validated metrics.
+#[derive(Debug, Clone)]
+pub struct ValidatedCandidate {
+    /// The explored candidate (schedule, estimate, Pareto flag).
+    pub candidate: Candidate,
+    /// The farm-validated simulation report, or the per-job failure.
+    pub validation: Result<ValidationReport, JobError>,
+}
+
+/// The full explore-then-validate loop of the paper's title: explore
+/// candidate schedules from coarse estimates, then validate the `top_n`
+/// fastest by TLM simulation of `sim_plan`, fanned across the farm in one
+/// batch. Candidates come back fastest-estimate first.
+pub fn explore_and_validate(
+    tasks: &[TestTask],
+    constraints: &Constraints,
+    extra: &[Schedule],
+    config: &SocConfig,
+    sim_plan: &SocTestPlan,
+    sim_tasks: &[TestTask],
+    top_n: usize,
+) -> Vec<ValidatedCandidate> {
+    let report = explore(tasks, constraints, extra);
+    let finalists: Vec<Candidate> = report.candidates.into_iter().take(top_n).collect();
+    let schedules: Vec<Schedule> = finalists.iter().map(|c| c.schedule.clone()).collect();
+    let validations = validate_schedules(config, sim_plan, sim_tasks, &schedules);
+    finalists
+        .into_iter()
+        .zip(validations)
+        .map(|(candidate, validation)| ValidatedCandidate {
+            candidate,
+            validation,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -196,6 +295,49 @@ mod tests {
         // With a tight power budget, the best feasible generated schedule
         // cannot beat the unconstrained one.
         assert!(tight.best().estimate.total_cycles >= loose.best().estimate.total_cycles);
+    }
+
+    #[test]
+    fn batched_validation_matches_single_runs() {
+        let mut config = SocConfig::small();
+        config.memory_words = 64;
+        let plan = SocTestPlan::small();
+        let tasks = estimate_tasks(&config, &plan);
+        let schedules = paper_schedules();
+        let farm = crate::farm::Farm::with_workers(4);
+        let batch = validate_schedules_on(&farm, &config, &plan, &tasks, &schedules);
+        assert_eq!(batch.len(), 4);
+        for (schedule, report) in schedules.iter().zip(&batch) {
+            let single = validate_schedule(&config, &plan, &tasks, schedule).unwrap();
+            let farmed = report.as_ref().unwrap();
+            assert_eq!(single.simulated.digest(), farmed.simulated.digest());
+            assert_eq!(single.estimate.total_cycles, farmed.estimate.total_cycles);
+        }
+    }
+
+    #[test]
+    fn explore_and_validate_returns_ranked_validated_finalists() {
+        let mut config = SocConfig::small();
+        config.memory_words = 64;
+        let plan = SocTestPlan::small();
+        let tasks = estimate_tasks(&config, &plan);
+        let out = explore_and_validate(
+            &tasks,
+            &Constraints::default(),
+            &paper_schedules(),
+            &config,
+            &plan,
+            &tasks,
+            3,
+        );
+        assert_eq!(out.len(), 3);
+        for w in out.windows(2) {
+            assert!(w[0].candidate.estimate.total_cycles <= w[1].candidate.estimate.total_cycles);
+        }
+        for v in &out {
+            let report = v.validation.as_ref().expect("explored schedules are valid");
+            assert!(report.simulated.result.clean());
+        }
     }
 
     #[test]

@@ -22,17 +22,29 @@
 //!   [`explore`] over candidate schedules,
 //! * **validation by simulation** — [`validate_schedule`] runs a candidate
 //!   on the full SoC TLM and reports estimate-versus-simulated error
-//!   ([`ValidationReport`]), closing the loop the paper argues for.
+//!   ([`ValidationReport`]), closing the loop the paper argues for,
+//! * a **parallel validation farm** — [`Farm`] fans independent scenario
+//!   simulations over a worker pool (one single-threaded simulator per
+//!   worker; `TVE_JOBS` overrides the width) so exploration batches run
+//!   at hardware speed; [`validate_schedules`] and
+//!   [`explore_and_validate`] drive it.
 
 mod estimate;
 mod explore;
+pub mod farm;
 mod packing;
 mod tam_alloc;
 mod task;
 mod wrapper_design;
 
 pub use estimate::{estimate_schedule, estimate_tasks, PhaseEstimate, ScheduleEstimate};
-pub use explore::{explore, validate_schedule, Candidate, ExploreReport, ValidationReport};
+pub use explore::{
+    explore, explore_and_validate, validate_schedule, validate_schedules, validate_schedules_on,
+    Candidate, ExploreReport, ValidatedCandidate, ValidationReport,
+};
+pub use farm::{
+    default_workers, run_scenarios, BatchReport, Farm, JobError, JobOutcome, ScenarioJob,
+};
 pub use packing::{greedy_schedule, optimal_schedule, sequential_schedule};
 pub use tam_alloc::{
     makespan_lower_bound, pack_tam, tam_width_sweep, CoreTestSpec, Placement, TamAssignment,

@@ -10,7 +10,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::event::EventState;
 use crate::time::{Duration, Time};
@@ -70,10 +70,16 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready.lock().push(self.id);
+        self.ready
+            .lock()
+            .expect("waker list poisoned")
+            .push(self.id);
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready.lock().push(self.id);
+        self.ready
+            .lock()
+            .expect("waker list poisoned")
+            .push(self.id);
     }
 }
 
@@ -150,7 +156,7 @@ impl Kernel {
             self.tasks
                 .borrow_mut()
                 .insert(id, TaskSlot { future, waker });
-            self.ready.lock().push(id);
+            self.ready.lock().expect("waker list poisoned").push(id);
         }
     }
 
@@ -176,7 +182,8 @@ impl Kernel {
     fn drain_ready(&self) {
         loop {
             self.install_spawned();
-            let batch: Vec<u64> = std::mem::take(&mut *self.ready.lock());
+            let batch: Vec<u64> =
+                std::mem::take(&mut *self.ready.lock().expect("waker list poisoned"));
             if batch.is_empty() {
                 break;
             }

@@ -333,6 +333,54 @@ pub struct ScenarioMetrics {
     pub result: ScheduleResult,
 }
 
+impl ScenarioMetrics {
+    /// FNV-1a digest of every simulation-determined field — everything
+    /// except host CPU times, which vary run to run. Two runs of the same
+    /// scenario must produce equal digests regardless of host load or
+    /// how many farm workers ran alongside; see `tve-sched`'s farm
+    /// determinism tests.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.schedule.as_bytes());
+        eat(&self.peak_utilization.to_bits().to_le_bytes());
+        eat(&self.avg_utilization.to_bits().to_le_bytes());
+        eat(&self.total_cycles.to_le_bytes());
+        if let Some(p) = &self.power {
+            eat(&p.peak.to_bits().to_le_bytes());
+            eat(&p.average.to_bits().to_le_bytes());
+            eat(&p.energy.to_bits().to_le_bytes());
+            for (name, energy) in &p.per_source {
+                eat(name.as_bytes());
+                eat(&energy.to_bits().to_le_bytes());
+            }
+        }
+        for slot in &self.result.slots {
+            let o = &slot.outcome;
+            eat(&(slot.phase as u64).to_le_bytes());
+            eat(o.name.as_bytes());
+            eat(&o.patterns.to_le_bytes());
+            eat(&o.stimulus_bits.to_le_bytes());
+            eat(&o.response_bits.to_le_bytes());
+            eat(&o.signature.unwrap_or(0).to_le_bytes());
+            eat(&o.mismatches.to_le_bytes());
+            eat(&o.errors.to_le_bytes());
+            for addr in &o.failing_addresses {
+                eat(&addr.to_le_bytes());
+            }
+            eat(&o.start.cycles().to_le_bytes());
+            eat(&o.end.cycles().to_le_bytes());
+        }
+        h
+    }
+}
+
 impl fmt::Display for ScenarioMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -4,14 +4,13 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::bitvec::BitVec;
 
 /// Geometry of a core's internal scan structure: a number of balanced scan
 /// chains of a maximum length. The paper's processor core uses 32 chains,
 /// the DCT core 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanConfig {
     chains: u32,
     max_chain_len: u32,

@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example schedule_exploration`.
 
-use tve::sched::{estimate_tasks, explore, validate_schedule, Constraints};
+use tve::sched::{default_workers, estimate_tasks, explore, validate_schedules, Constraints};
 use tve::soc::{paper_schedules, SocConfig, SocTestPlan};
 
 fn main() {
@@ -33,11 +33,24 @@ fn main() {
     // Validate the two finalists by simulation (scaled plan).
     let sim_plan = SocTestPlan::paper_scaled(20);
     let sim_tasks = estimate_tasks(&config, &sim_plan);
-    println!("\nsimulation-based validation of the finalists (1/20 scale):");
-    for candidate in report.candidates.iter().take(2) {
-        let v = validate_schedule(&config, &sim_plan, &sim_tasks, &candidate.schedule)
-            .expect("explored schedules are well-formed");
-        println!("  {}: {v}", candidate.schedule.name);
+    println!(
+        "\nsimulation-based validation of the finalists \
+         (1/20 scale, farm of {} workers):",
+        default_workers()
+    );
+    // Both finalist simulations run as one farm batch; results return in
+    // submission order.
+    let finalists: Vec<_> = report
+        .candidates
+        .iter()
+        .take(2)
+        .map(|c| c.schedule.clone())
+        .collect();
+    for (schedule, validation) in finalists.iter().zip(validate_schedules(
+        &config, &sim_plan, &sim_tasks, &finalists,
+    )) {
+        let v = validation.expect("explored schedules are well-formed");
+        println!("  {}: {v}", schedule.name);
         assert!(v.simulated.result.clean());
     }
     println!(

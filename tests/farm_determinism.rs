@@ -1,0 +1,73 @@
+//! The farm contract the whole PR rests on: fanning scenario validation
+//! across workers must not change a single bit of any simulation result.
+//! Each worker owns its own single-threaded simulator, so the only thing
+//! parallelism may alter is host-side timing — never `ScenarioMetrics`.
+
+use tve::sched::{default_workers, Farm, ScenarioJob};
+use tve::soc::{paper_schedules, SocConfig, SocTestPlan};
+
+/// A batch that exercises all four paper schedules twice (two scales), so
+/// jobs of different lengths interleave across workers.
+fn batch() -> Vec<ScenarioJob> {
+    let mut config = SocConfig::paper();
+    config.memory_words = 2622;
+    let schedules = paper_schedules();
+    let mut jobs = Vec::new();
+    for scale in [100u64, 200] {
+        let plan = SocTestPlan::paper_scaled(scale);
+        for s in &schedules {
+            jobs.push(ScenarioJob::labeled(
+                format!("{} @ 1/{scale}", s.name),
+                config.clone(),
+                plan.clone(),
+                s.clone(),
+            ));
+        }
+    }
+    jobs
+}
+
+fn digests(farm: &Farm, jobs: &[ScenarioJob]) -> Vec<(String, u64)> {
+    let report = farm.run(jobs);
+    assert!(report.all_ok(), "every job in the batch must validate");
+    assert_eq!(report.outcomes.len(), jobs.len());
+    report
+        .outcomes
+        .iter()
+        .map(|o| {
+            // Results must come back in submission order regardless of
+            // which worker finished first.
+            assert_eq!(o.label, jobs[o.index].label);
+            (o.label.clone(), o.expect_metrics().digest())
+        })
+        .collect()
+}
+
+#[test]
+fn worker_count_is_invisible_in_the_results() {
+    let jobs = batch();
+    let serial = digests(&Farm::with_workers(1), &jobs);
+    let wide = digests(&Farm::with_workers(8), &jobs);
+    assert_eq!(
+        serial, wide,
+        "1-worker and 8-worker runs must produce identical metrics in \
+         identical order"
+    );
+    // And an in-between width, for good measure.
+    assert_eq!(serial, digests(&Farm::with_workers(3), &jobs));
+}
+
+#[test]
+fn tve_jobs_env_drives_the_default_farm() {
+    // Serialize with any other test touching the variable.
+    std::env::set_var("TVE_JOBS", "5");
+    assert_eq!(default_workers(), 5);
+    let farm = Farm::new();
+    assert_eq!(farm.workers(), 5);
+    std::env::remove_var("TVE_JOBS");
+
+    // Nonsense values fall back to the detected parallelism.
+    std::env::set_var("TVE_JOBS", "not-a-number");
+    assert!(default_workers() >= 1);
+    std::env::remove_var("TVE_JOBS");
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal benchmarking harness implementing the
+//! surface its benches use: [`Criterion::benchmark_group`], group
+//! `sample_size`/`throughput`/`bench_function`/`bench_with_input`/
+//! `finish`, [`Bencher::iter`], [`BenchmarkId::from_parameter`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`]/
+//! [`criterion_main!`] macros.
+//!
+//! Differences from upstream: no statistical analysis, plots or saved
+//! baselines — each benchmark point is timed as `sample_size` samples
+//! (bounded by a wall-clock budget) and reported as min/median/mean on
+//! stdout. Passing `--test` (as `cargo test --benches` does) runs every
+//! closure once without timing.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// computation under measurement.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units of work per iteration, for throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark point identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming both a function and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-point measurement driver handed to bench closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: usize,
+    budget: Duration,
+    report: &'a mut Vec<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Measure,
+    /// `--test`: run the closure once, skip timing.
+    Smoke,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, collecting up to the configured number of samples
+    /// within the wall-clock budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Warm-up: one untimed call (fills caches, resolves lazy state).
+        black_box(f());
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.report.push(t0.elapsed());
+            if started.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmark points.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per point.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_point(&id.id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run_point(&id.id, |b| f(b, input));
+        self
+    }
+
+    fn run_point(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            samples: self.sample_size,
+            budget: self.criterion.point_budget,
+            report: &mut samples,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.mode == Mode::Smoke {
+            println!("{label}: ok (smoke)");
+            return;
+        }
+        if samples.is_empty() {
+            println!("{label}: no samples collected");
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("   {:.3} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("   {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<55} time: [{} {} {}]{thr}   ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op barrier
+    /// in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    mode: Mode,
+    point_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            point_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line flags (`--test` switches to smoke mode; other
+    /// harness flags are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::Smoke;
+        }
+        if let Some(ms) = std::env::var("CRITERION_POINT_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            self.point_budget = Duration::from_millis(ms);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single free-standing function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(id.to_string());
+        g.bench_function("base", f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

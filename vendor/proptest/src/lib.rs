@@ -1,0 +1,463 @@
+//! Offline, deterministic stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal property-testing harness implementing
+//! exactly what its tests use: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, `prop_assert!`/`prop_assert_eq!`,
+//! [`strategy::Strategy`] implementations for integer ranges, tuples and
+//! [`arbitrary::any`], and [`collection::vec`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * Cases are generated from a **fixed default seed** so runs are
+//!   reproducible by default (CI-friendly); `PROPTEST_RNG_SEED` overrides
+//!   the base seed and `PROPTEST_CASES` the case count.
+//! * Failing inputs are reported (with their per-case seed) but **not
+//!   shrunk**.
+//! * `*.proptest-regressions` files are honored: each `cc <hex>` entry is
+//!   replayed as an extra leading case seeded from its first 16 hex
+//!   digits, before any generated cases run.
+
+/// Test-runner configuration and the per-test execution loop.
+pub mod test_runner {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property assertion (an `Err` returned by the case body).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    /// Deterministic per-case random source handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator for one case, derived from `seed` via SplitMix64.
+        pub fn new(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniform bits (xoshiro256**).
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok().and_then(|v| {
+            let v = v.trim();
+            if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            }
+        })
+    }
+
+    /// Seeds replayed from a checked-in `*.proptest-regressions` file, if
+    /// one exists next to the test source (`cc <hex>` lines; the first 16
+    /// hex digits become the case seed).
+    fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let base = source_file.strip_suffix(".rs").unwrap_or(source_file);
+        let name = format!("{base}.proptest-regressions");
+        // `file!()` is workspace-root-relative while the test binary's cwd
+        // is the package root; probe both and the workspace root above us.
+        let mut seeds = Vec::new();
+        for prefix in ["", "../", "../../"] {
+            let path = format!("{prefix}{name}");
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                for line in text.lines() {
+                    let line = line.trim();
+                    if let Some(rest) = line.strip_prefix("cc ") {
+                        let hex: String = rest.chars().take(16).collect();
+                        if let Ok(seed) = u64::from_str_radix(&hex, 16) {
+                            seeds.push(seed);
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        seeds
+    }
+
+    /// Runs one property: regression cases first, then `cases` generated
+    /// cases (count overridable via `PROPTEST_CASES`, base seed via
+    /// `PROPTEST_RNG_SEED`). `case` returns the formatted inputs and the
+    /// body result. Panics — with the case seed and inputs — on the first
+    /// failure; no shrinking is attempted.
+    pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, source_file: &str, mut case: F)
+    where
+        F: FnMut(u64) -> (String, Result<(), TestCaseError>),
+    {
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|n| n as u32)
+            .unwrap_or(config.cases);
+        let base = env_u64("PROPTEST_RNG_SEED").unwrap_or(0x7E57_5EED_2009_0000);
+        // Mix the test name in so sibling properties see distinct streams.
+        let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+
+        let mut all: Vec<(u64, bool)> = regression_seeds(source_file)
+            .into_iter()
+            .map(|s| (s, true))
+            .collect();
+        all.extend((0..cases as u64).map(|i| {
+            (
+                base ^ name_hash ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                false,
+            )
+        }));
+
+        for (seed, from_regression) in all {
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(seed)));
+            let origin = if from_regression {
+                "regression case"
+            } else {
+                "case"
+            };
+            match outcome {
+                Ok((_, Ok(()))) => {}
+                Ok((inputs, Err(TestCaseError(msg)))) => panic!(
+                    "proptest property `{test_name}` failed ({origin} seed \
+                     {seed:#018x}):\n  inputs: {inputs}\n  {msg}\n\
+                     (re-run with PROPTEST_RNG_SEED={seed:#x} PROPTEST_CASES=1)"
+                ),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!(
+                        "proptest property `{test_name}` panicked ({origin} \
+                         seed {seed:#018x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` — uniform generation over a whole type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            assert!(self.len.start < self.len.end, "empty size range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `len` elements (exclusive upper bound) of
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the enclosing property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Declares deterministic property tests; see the crate docs for the
+/// supported subset (named `ident in strategy` bindings, optional
+/// `#![proptest_config(...)]` header, doc comments on properties).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[doc $($doc:tt)*])*
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[doc $($doc)*])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                &__config,
+                stringify!($name),
+                file!(),
+                |__seed| {
+                    let mut __rng = $crate::test_runner::TestRng::new(__seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    (__inputs, __result)
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn range_bounds(x in 3u32..17, y in 0usize..5, z in 1u64..u64::MAX) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(any::<bool>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_generate(t in (0u64..10, 1u64..5, 0u8..4)) {
+            prop_assert!(t.0 < 10 && t.1 >= 1 && t.2 < 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::test_runner::run_cases(
+                &ProptestConfig::with_cases(5),
+                "repro",
+                file!(),
+                |seed| {
+                    out.push(crate::test_runner::TestRng::new(seed).next_u64());
+                    (String::new(), Ok(()))
+                },
+            );
+        }
+        assert_eq!(a, b);
+    }
+}
