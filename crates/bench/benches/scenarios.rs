@@ -3,9 +3,11 @@
 //! from DESIGN.md — data policy (volume vs full), posted-queue depth of
 //! the memory BIST engine, and the monitor window.
 
+use std::path::Path;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tve_bench::write_artifact;
 use tve_core::DataPolicy;
 use tve_sched::{default_workers, Farm, ScenarioJob};
 use tve_sim::Duration;
@@ -161,7 +163,7 @@ fn bench_farm_vs_sequential(c: &mut Criterion) {
     let path = std::env::var("TVE_FARM_BENCH_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/farm_bench.json").to_string()
     });
-    std::fs::write(&path, &json).expect("write farm_bench.json");
+    write_artifact(Path::new(&path), &json);
     println!("farm_vs_sequential: {speedup:.2}x with {workers} workers -> {path}");
 
     let mut g = c.benchmark_group("scenario/farm_validation");

@@ -6,12 +6,16 @@
 //! compression stops paying because the scan chains, not the ATE channel,
 //! become the bottleneck.
 //!
-//! Usage: `compression_sweep [--scale N]` (default 20).
+//! Usage: `compression_sweep [--scale N] [--csv [path]]` (default scale
+//! 20). `--csv` writes the sweep as a machine-readable table (default
+//! `target/compression_sweep.csv`) for plotting.
 //!
 //! All (ratio, schedule) points are independent simulations and run as
 //! one farm batch (`TVE_JOBS` overrides the worker count).
 
-use tve_bench::format_row;
+use std::path::PathBuf;
+
+use tve_bench::{format_row, write_artifact};
 use tve_sched::{run_scenarios, ScenarioJob};
 use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
 
@@ -25,6 +29,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(20);
+    let csv = args.iter().position(|a| a == "--csv").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/compression_sweep.csv"))
+    });
 
     let plan = SocTestPlan::paper_scaled(scale);
     let schedules = paper_schedules();
@@ -72,10 +82,17 @@ fn main() {
     let batch = run_scenarios(&jobs);
 
     let mut prev2 = f64::INFINITY;
+    let mut rows = String::from("ratio,sched2_mcycles,sched4_mcycles,sched4_peak_pct\n");
     for (pair, &ratio) in batch.outcomes.chunks(2).zip(RATIOS.iter()) {
         let m2 = pair[0].expect_metrics();
         let m4 = pair[1].expect_metrics();
         assert!(m2.result.clean() && m4.result.clean());
+        rows.push_str(&format!(
+            "{ratio},{},{},{}\n",
+            m2.total_cycles as f64 / 1e6,
+            m4.total_cycles as f64 / 1e6,
+            m4.peak_utilization * 100.0
+        ));
         println!(
             "{}",
             format_row(
@@ -100,4 +117,8 @@ fn main() {
          the scan-shift bottleneck: beyond that, a stronger codec buys ATE \
          storage, not test time — the knee the exploration is for."
     );
+    if let Some(path) = csv {
+        write_artifact(&path, &rows);
+        println!("sweep CSV: {}", path.display());
+    }
 }

@@ -3,10 +3,17 @@
 //! the finalists — the full "test exploration and validation" loop of the
 //! paper's title, beyond the four hand-written schedules of Table I.
 //!
-//! Usage: `exploration [--power-budget N] [--scale N]`.
+//! Usage: `exploration [--power-budget N] [--scale N] [--trace [path]]`.
+//!
+//! With `--trace` (or `TVE_TRACE`) the best finalist is re-simulated with
+//! the span recorder attached and a Chrome-trace JSON is written (default
+//! `target/trace_exploration.json`) — the timeline Perfetto view of the
+//! winning schedule.
 
+use tve_bench::{trace_output, write_artifact};
+use tve_obs::{check_json, write_chrome_trace, StoragePolicy};
 use tve_sched::{default_workers, estimate_tasks, explore, validate_schedules, Constraints};
-use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+use tve_soc::{paper_schedules, run_scenario_traced, SocConfig, SocTestPlan};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -69,5 +76,29 @@ fn main() {
             Ok(v) => println!("  {:<34} {v}", schedule.name),
             Err(e) => println!("  {:<34} invalid: {e}", schedule.name),
         }
+    }
+
+    if let Some(path) = trace_output(&args, "target/trace_exploration.json") {
+        let best = &finalists[0];
+        let (metrics, log) =
+            run_scenario_traced(&config, &sim_plan, best, StoragePolicy::Unbounded)
+                .expect("best finalist validated above, so it must simulate");
+        assert!(metrics.result.clean());
+        let mut buf = Vec::new();
+        write_chrome_trace(&log, &mut buf).expect("in-memory trace serialization");
+        let text = String::from_utf8(buf).expect("chrome trace is UTF-8");
+        if let Err(e) = check_json(&text) {
+            eprintln!("error: generated chrome trace is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+        write_artifact(&path, &text);
+        println!(
+            "\nchrome trace of '{}': {} ({} spans, {} tracks) — open in \
+             https://ui.perfetto.dev",
+            best.name,
+            path.display(),
+            log.spans.len(),
+            log.tracks().len()
+        );
     }
 }

@@ -2,14 +2,24 @@
 //! test length, and host CPU time for the four test schedules of the JPEG
 //! encoder SoC case study.
 //!
-//! Usage: `table1 [--scale N]` — `N` divides every pattern count (and the
-//! memory size stays full); `--scale 1` (default) is the paper-scale run.
+//! Usage: `table1 [--scale N] [--mem-words N] [--trace [path]]` — `--scale`
+//! divides every pattern count (the memory size stays full unless
+//! `--mem-words` shrinks it); `--scale 1` (default) is the paper-scale
+//! run. `--trace` (or the `TVE_TRACE` env var) additionally records every
+//! TAM transfer, scan and schedule phase and writes a Chrome-trace JSON
+//! (default `target/trace_table1.json`, openable in Perfetto); the
+//! per-channel utilization is then recomputed from the recorded spans and
+//! checked for exact agreement with the live monitor. The full-size
+//! memory march dominates the span count, so pair `--trace` with
+//! `--mem-words` (e.g. 2622, the benchmark workload) for a trace a viewer
+//! can actually load.
 //!
 //! The four scenarios are independent simulations, so they are fanned
 //! over the validation farm (`TVE_JOBS` overrides the worker count).
 
-use tve_bench::{format_row, rel_err_pct};
-use tve_sched::{run_scenarios, ScenarioJob};
+use tve_bench::{format_row, rel_err_pct, trace_output, write_artifact};
+use tve_obs::{check_json, utilization_from_spans, write_chrome_trace, SpanKind, StoragePolicy};
+use tve_sched::{run_scenarios, run_scenarios_traced, BatchReport, ScenarioJob};
 use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
 
 /// Paper values: (peak %, avg %, test length Mcycles, CPU s).
@@ -29,7 +39,16 @@ fn main() {
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(1);
 
-    let config = SocConfig::paper();
+    let mem_words = args
+        .iter()
+        .position(|a| a == "--mem-words")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u32>().ok());
+
+    let mut config = SocConfig::paper();
+    if let Some(words) = mem_words {
+        config.memory_words = words;
+    }
     let plan = if scale == 1 {
         SocTestPlan::paper()
     } else {
@@ -56,11 +75,22 @@ fn main() {
     let detail = args.iter().any(|a| a == "--detail");
     let mut max_err: f64 = 0.0;
     let mut volumes = Vec::new();
+    let trace = trace_output(&args, "target/trace_table1.json");
     let jobs: Vec<ScenarioJob> = paper_schedules()
         .into_iter()
         .map(|s| ScenarioJob::new(config.clone(), plan.clone(), s))
         .collect();
-    let batch = run_scenarios(&jobs);
+    let traced = trace
+        .as_ref()
+        .map(|_| run_scenarios_traced(&jobs, StoragePolicy::Unbounded));
+    let untraced;
+    let batch: &BatchReport = match &traced {
+        Some(t) => &t.report,
+        None => {
+            untraced = run_scenarios(&jobs);
+            &untraced
+        }
+    };
     for (i, outcome) in batch.outcomes.iter().enumerate() {
         let m = outcome.expect_metrics();
         if detail {
@@ -127,6 +157,52 @@ fn main() {
              and compressed scenarios (1 -> 2) — test time AND tester \
              memory, the two costs compression trades against silicon.",
             volumes[0] as f64 / volumes[1] as f64
+        );
+    }
+    if let (Some(path), Some(t)) = (&trace, &traced) {
+        println!("\nTAM utilization recomputed from recorded transfer spans:");
+        let window = config.monitor_window.as_cycles();
+        for (i, (outcome, log)) in t.report.outcomes.iter().zip(&t.logs).enumerate() {
+            let m = outcome.expect_metrics();
+            let u = utilization_from_spans(
+                log.spans_on("system-bus/TAM", SpanKind::Transfer),
+                window,
+                log.observed_end,
+            );
+            assert_eq!(
+                u.peak(),
+                m.peak_utilization,
+                "scenario {}: trace-derived peak diverges from monitor",
+                i + 1
+            );
+            assert_eq!(
+                u.average(),
+                m.avg_utilization,
+                "scenario {}: trace-derived average diverges from monitor",
+                i + 1
+            );
+            println!(
+                "  scenario {}: peak {:>5.1}%  avg {:>5.1}%  ({} transfers) — matches monitor",
+                i + 1,
+                u.peak() * 100.0,
+                u.average() * 100.0,
+                u.transfers
+            );
+        }
+        let merged = t.merged();
+        let mut buf = Vec::new();
+        write_chrome_trace(&merged, &mut buf).expect("in-memory trace serialization");
+        let text = String::from_utf8(buf).expect("chrome trace is UTF-8");
+        if let Err(e) = check_json(&text) {
+            eprintln!("error: generated chrome trace is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+        write_artifact(path, &text);
+        println!(
+            "chrome trace: {} ({} spans, {} tracks) — open in https://ui.perfetto.dev",
+            path.display(),
+            merged.spans.len(),
+            merged.tracks().len()
         );
     }
 }

@@ -12,6 +12,8 @@
 //! Criterion microbenchmarks live in `benches/` (kernel throughput, bus
 //! arbitration, pattern generation, march engine, scenario ablations).
 
+use std::path::{Path, PathBuf};
+
 /// Formats a Table-I-style row for terminal output.
 pub fn format_row(cols: &[String], widths: &[usize]) -> String {
     cols.iter()
@@ -29,6 +31,51 @@ pub fn rel_err_pct(measured: f64, reference: f64) -> f64 {
     ((measured - reference) / reference).abs() * 100.0
 }
 
+/// Writes a benchmark artifact to `path`, creating parent directories.
+///
+/// All bench binaries route their file output through this helper so a
+/// failure (read-only target dir, bad path from `--trace`) produces one
+/// clear diagnostic on stderr and a nonzero exit instead of an opaque
+/// `unwrap` panic.
+pub fn write_artifact(path: &Path, contents: &str) {
+    let attempt = (|| -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, contents)
+    })();
+    if let Err(e) = attempt {
+        eprintln!("error: cannot write artifact {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
+
+/// Resolves the trace-output path requested on the command line.
+///
+/// Returns `Some(path)` when tracing was requested, `None` otherwise:
+///
+/// * `--trace <path>` uses the explicit path (a following argument that
+///   itself starts with `--` is treated as the next flag, not a path),
+/// * bare `--trace` falls back to `default`,
+/// * the `TVE_TRACE` environment variable acts like `--trace [path]`
+///   (empty value or `1` means "use the default path").
+pub fn trace_output(args: &[String], default: &str) -> Option<PathBuf> {
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let explicit = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from);
+        return Some(explicit.unwrap_or_else(|| PathBuf::from(default)));
+    }
+    match std::env::var("TVE_TRACE") {
+        Ok(v) if v.is_empty() || v == "1" => Some(PathBuf::from(default)),
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +91,34 @@ mod tests {
         assert_eq!(rel_err_pct(110.0, 100.0), 10.0);
         assert_eq!(rel_err_pct(90.0, 100.0), 10.0);
         assert_eq!(rel_err_pct(5.0, 0.0), 0.0);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn trace_flag_with_explicit_path() {
+        let out = trace_output(&args(&["bin", "--trace", "out/t.json"]), "d.json");
+        assert_eq!(out, Some(PathBuf::from("out/t.json")));
+    }
+
+    #[test]
+    fn trace_flag_bare_uses_default() {
+        let out = trace_output(&args(&["bin", "--trace"]), "d.json");
+        assert_eq!(out, Some(PathBuf::from("d.json")));
+        // A following flag is not consumed as the path.
+        let out = trace_output(&args(&["bin", "--trace", "--detail"]), "d.json");
+        assert_eq!(out, Some(PathBuf::from("d.json")));
+    }
+
+    #[test]
+    fn write_artifact_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("tve-bench-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deep/file.txt");
+        write_artifact(&path, "payload");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "payload");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

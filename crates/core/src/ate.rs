@@ -3,9 +3,11 @@
 //! interfaced to the test controller and EBI to simulate the actual test
 //! program instructions".
 
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use tve_obs::{Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle, Time};
 
 use crate::config_bus::ConfigScanRing;
@@ -36,6 +38,19 @@ pub enum AteOp {
     },
     /// Idle for a number of cycles (settling, power ramps).
     WaitCycles(u64),
+}
+
+impl AteOp {
+    /// A short label for trace output.
+    fn label(&self) -> &'static str {
+        match self {
+            AteOp::ConfigureRing(_) => "configure_ring",
+            AteOp::SetConfig { .. } => "set_config",
+            AteOp::RunTests(_) => "run_tests",
+            AteOp::ExpectSignature { .. } => "expect_signature",
+            AteOp::WaitCycles(_) => "wait",
+        }
+    }
 }
 
 /// A complete ATE test program.
@@ -137,6 +152,7 @@ pub struct VirtualAte {
     handle: SimHandle,
     ring: Rc<ConfigScanRing>,
     wrappers: Vec<Rc<TestWrapper>>,
+    recorder: RefCell<Option<Rc<Recorder>>>,
 }
 
 impl fmt::Debug for VirtualAte {
@@ -158,7 +174,15 @@ impl VirtualAte {
             handle: handle.clone(),
             ring,
             wrappers,
+            recorder: RefCell::new(None),
         }
+    }
+
+    /// Attaches an observability recorder: every executed program
+    /// instruction becomes a [`tve_obs::SpanKind::Step`] span on the
+    /// `"virtual-ate"` track.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        *self.recorder.borrow_mut() = Some(recorder);
     }
 
     /// Executes `program`, consuming test sequences from `tests` as
@@ -174,6 +198,7 @@ impl VirtualAte {
             end: self.handle.now(),
         };
         for op in &program.ops {
+            let op_start = self.handle.now();
             match op {
                 AteOp::ConfigureRing(values) => {
                     self.ring.write_all(values).await;
@@ -217,6 +242,12 @@ impl VirtualAte {
                     }
                     None => report.errors.push(AteError::UnknownWrapper(*wrapper)),
                 },
+            }
+            if let Some(rec) = &*self.recorder.borrow() {
+                let op_end = self.handle.now();
+                rec.record_with(|| {
+                    SpanRecord::new(SpanKind::Step, "virtual-ate", op.label(), op_start, op_end)
+                });
             }
         }
         report.end = self.handle.now();

@@ -2,10 +2,12 @@
 //! configuration registers (WIRs, codec configs, EBI config) of all test
 //! infrastructure blocks.
 
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
-use tve_sim::{Duration, SimHandle};
+use tve_obs::{Counter, Recorder, SpanKind, SpanRecord};
+use tve_sim::{Duration, SimHandle, Time};
 
 /// A block with a configuration register on the scan ring.
 pub trait ConfigClient {
@@ -19,6 +21,13 @@ pub trait ConfigClient {
     fn read_config(&self) -> u64;
 }
 
+/// Attached observability state: the shared recorder plus the rotation
+/// counter pre-registered at attach time.
+struct RingRecorder {
+    rec: Rc<Recorder>,
+    rotations: Counter,
+}
+
 /// The serial configuration scan ring.
 ///
 /// Any access shifts the *entire* ring once (that is the point of a ring:
@@ -30,7 +39,8 @@ pub struct ConfigScanRing {
     handle: SimHandle,
     clients: Vec<Rc<dyn ConfigClient>>,
     clock_div: u64,
-    rotations: std::cell::Cell<u64>,
+    rotations: Cell<u64>,
+    recorder: RefCell<Option<RingRecorder>>,
 }
 
 impl fmt::Debug for ConfigScanRing {
@@ -56,7 +66,35 @@ impl ConfigScanRing {
             handle: handle.clone(),
             clients,
             clock_div,
-            rotations: std::cell::Cell::new(0),
+            rotations: Cell::new(0),
+            recorder: RefCell::new(None),
+        }
+    }
+
+    /// Attaches an observability recorder: every ring access becomes a
+    /// [`tve_obs::SpanKind::ConfigScan`] span on the `"config-ring"`
+    /// track and the `"config-ring.rotations"` counter accumulates in the
+    /// recorder's metrics registry.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        let rotations = recorder.metrics().counter("config-ring.rotations");
+        *self.recorder.borrow_mut() = Some(RingRecorder {
+            rec: recorder,
+            rotations,
+        });
+    }
+
+    fn record_rotation(&self, op: &str, client: Option<usize>, start: Time) {
+        if let Some(obs) = &*self.recorder.borrow() {
+            let end = self.handle.now();
+            obs.rec.record_with(|| {
+                let name = match client {
+                    Some(i) => format!("{op} {i}"),
+                    None => op.to_string(),
+                };
+                SpanRecord::new(SpanKind::ConfigScan, "config-ring", name, start, end)
+                    .with_bits(self.ring_length() as u64)
+            });
+            obs.rotations.inc();
         }
     }
 
@@ -93,8 +131,10 @@ impl ConfigScanRing {
     /// Panics if `index` is out of range.
     pub async fn write(&self, index: usize, value: u64) {
         assert!(index < self.clients.len(), "config client index in range");
+        let start = self.handle.now();
         self.rotate().await;
         self.clients[index].load_config(value);
+        self.record_rotation("write", Some(index), start);
     }
 
     /// Reads client `index`'s register (one full rotation).
@@ -104,8 +144,10 @@ impl ConfigScanRing {
     /// Panics if `index` is out of range.
     pub async fn read(&self, index: usize) -> u64 {
         assert!(index < self.clients.len(), "config client index in range");
+        let start = self.handle.now();
         let v = self.clients[index].read_config();
         self.rotate().await;
+        self.record_rotation("read", Some(index), start);
         v
     }
 
@@ -121,10 +163,12 @@ impl ConfigScanRing {
             self.clients.len(),
             "one value per ring client"
         );
+        let start = self.handle.now();
         self.rotate().await;
         for (c, &v) in self.clients.iter().zip(values) {
             c.load_config(v);
         }
+        self.record_rotation("write_all", None, start);
     }
 }
 

@@ -1,10 +1,12 @@
 //! The on-chip test controller (paper Section III.E): drives the memory
 //! array BIST (march + pattern tests) over the TAM.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
 use tve_memtest::{MarchOp, MarchOrder, MarchTest, PatternTest};
+use tve_obs::{Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle};
 use tve_tlm::{Command, InitiatorId, TamIf, TamIfExt};
 
@@ -64,6 +66,7 @@ pub struct TestController {
     name: String,
     tam: Rc<dyn TamIf>,
     initiator: InitiatorId,
+    recorder: RefCell<Option<Rc<Recorder>>>,
 }
 
 impl fmt::Debug for TestController {
@@ -88,7 +91,14 @@ impl TestController {
             name: name.into(),
             tam,
             initiator,
+            recorder: RefCell::new(None),
         }
+    }
+
+    /// Attaches an observability recorder: each executed plan becomes a
+    /// [`tve_obs::SpanKind::Test`] span on the `ctrl/<name>` track.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        *self.recorder.borrow_mut() = Some(recorder);
     }
 
     /// The controller name.
@@ -159,11 +169,25 @@ impl TestController {
     /// Executes the full plan (march, then pattern tests) and returns its
     /// outcome; `patterns` in the outcome counts memory operations.
     pub async fn run_memory_test(&self, plan: &MemoryTestPlan) -> TestOutcome {
-        if plan.posted_depth > 1 {
+        let out = if plan.posted_depth > 1 {
             self.run_posted(plan).await
         } else {
             self.run_blocking(plan).await
+        };
+        if let Some(rec) = &*self.recorder.borrow() {
+            rec.record_with(|| {
+                SpanRecord::new(
+                    SpanKind::Test,
+                    format!("ctrl/{}", self.name),
+                    out.name.clone(),
+                    out.start,
+                    out.end,
+                )
+                .with_initiator(self.initiator.0)
+                .with_bits(out.stimulus_bits + out.response_bits)
+            });
         }
+        out
     }
 
     async fn run_blocking(&self, plan: &MemoryTestPlan) -> TestOutcome {

@@ -50,6 +50,9 @@ pub use interconnect::{run_interconnect_test, Interconnect, Net, NetFault};
 pub use model::{CoreModel, DataPolicy, StuckCell, SyntheticLogicCore};
 pub use outcome::TestOutcome;
 pub use program_text::ParseProgramError;
-pub use schedule::{execute_schedule, Schedule, ScheduleError, ScheduleResult, TestRun, TestSlot};
+pub use schedule::{
+    execute_schedule, execute_schedule_traced, Schedule, ScheduleError, ScheduleResult, TestRun,
+    TestSlot,
+};
 pub use source::{AteSource, BistSource, CompressedAteSource, ReadBack};
 pub use wrapper::{ScanPowerProfile, TestWrapper, WrapperConfig, WrapperMode, WrapperStats};

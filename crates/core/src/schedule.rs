@@ -2,9 +2,11 @@
 //! completion on the simulation kernel — the engine behind Table I.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
 
+use tve_obs::{Recorder, SpanKind, SpanRecord};
 use tve_sim::{Simulation, Time};
 use tve_tlm::LocalBoxFuture;
 
@@ -210,6 +212,25 @@ pub fn execute_schedule(
     tests: Vec<TestRun>,
     schedule: &Schedule,
 ) -> Result<ScheduleResult, ScheduleError> {
+    execute_schedule_traced(sim, tests, schedule, None)
+}
+
+/// [`execute_schedule`] with observability: when a recorder is given, the
+/// run additionally emits one [`tve_obs::SpanKind::Phase`] span per
+/// schedule phase (on the `"schedule"` track, spanning the phase's first
+/// test start to its last test end) and one [`tve_obs::SpanKind::Test`]
+/// span per executed sequence (on the `"tests"` track).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if the schedule is not well-formed for
+/// `tests`.
+pub fn execute_schedule_traced(
+    sim: &mut Simulation,
+    tests: Vec<TestRun>,
+    schedule: &Schedule,
+    recorder: Option<&Rc<Recorder>>,
+) -> Result<ScheduleResult, ScheduleError> {
     schedule.validate(tests.len())?;
     let started = std::time::Instant::now();
     let slots: Rc<RefCell<Vec<TestSlot>>> = Rc::new(RefCell::new(Vec::new()));
@@ -243,6 +264,39 @@ pub fn execute_schedule(
     let slots = Rc::try_unwrap(slots)
         .expect("orchestrator completed")
         .into_inner();
+    if let Some(rec) = recorder {
+        let mut bounds: BTreeMap<usize, (Time, Time)> = BTreeMap::new();
+        for slot in &slots {
+            let e = bounds
+                .entry(slot.phase)
+                .or_insert((slot.outcome.start, slot.outcome.end));
+            e.0 = e.0.min(slot.outcome.start);
+            e.1 = e.1.max(slot.outcome.end);
+        }
+        for (phase, (start, end)) in bounds {
+            rec.record_with(|| {
+                SpanRecord::new(
+                    SpanKind::Phase,
+                    "schedule",
+                    format!("phase {phase}"),
+                    start,
+                    end,
+                )
+            });
+        }
+        for slot in &slots {
+            rec.record_with(|| {
+                SpanRecord::new(
+                    SpanKind::Test,
+                    "tests",
+                    slot.outcome.name.clone(),
+                    slot.outcome.start,
+                    slot.outcome.end,
+                )
+                .with_bits(slot.outcome.stimulus_bits + slot.outcome.response_bits)
+            });
+        }
+    }
     let start = slots
         .iter()
         .map(|s| s.outcome.start)

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use tve_obs::{Recorder, SpanKind, SpanRecord};
 use tve_sim::SimHandle;
 use tve_tlm::{Command, InitiatorId, TamIf, TamIfExt};
 use tve_tpg::{BitVec, Compressor, Misr, Prpg, ScanConfig, TestCube};
@@ -18,6 +19,25 @@ fn words_to_sig(words: &[u32]) -> u64 {
     let lo = words.first().copied().unwrap_or(0) as u64;
     let hi = words.get(1).copied().unwrap_or(0) as u64;
     lo | (hi << 32)
+}
+
+/// Records a completed source run as a [`SpanKind::Burst`] span on the
+/// `src/<name>` track, covering the full sequence and carrying its total
+/// data volume.
+fn record_burst(recorder: &Option<Rc<Recorder>>, initiator: InitiatorId, out: &TestOutcome) {
+    if let Some(rec) = recorder {
+        rec.record_with(|| {
+            SpanRecord::new(
+                SpanKind::Burst,
+                format!("src/{}", out.name),
+                out.name.clone(),
+                out.start,
+                out.end,
+            )
+            .with_initiator(initiator.0)
+            .with_bits(out.stimulus_bits + out.response_bits)
+        });
+    }
 }
 
 /// A logic-BIST pattern source: an on-chip PRPG streaming pseudo-random
@@ -43,6 +63,7 @@ pub struct BistSource {
     pub policy: DataPolicy,
     /// PRPG seed.
     pub seed: u64,
+    recorder: Option<Rc<Recorder>>,
 }
 
 impl fmt::Debug for BistSource {
@@ -79,7 +100,15 @@ impl BistSource {
             patterns,
             policy,
             seed,
+            recorder: None,
         }
+    }
+
+    /// Attaches an observability recorder: the run is recorded as a
+    /// [`SpanKind::Burst`] span on the `src/<name>` track.
+    pub fn with_recorder(mut self, recorder: Rc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Runs the full BIST sequence and returns its outcome.
@@ -143,6 +172,7 @@ impl BistSource {
             Err(_) => out.errors += 1,
         }
         out.end = self.handle.now();
+        record_burst(&self.recorder, self.initiator, &out);
         out
     }
 }
@@ -194,6 +224,9 @@ pub struct AteSource {
     pub policy: DataPolicy,
     /// Pattern-set seed ("ATPG" reproducibility).
     pub seed: u64,
+    /// Optional observability recorder; the run is recorded as a
+    /// [`SpanKind::Burst`] span on the `src/<name>` track.
+    pub recorder: Option<Rc<Recorder>>,
 }
 
 impl fmt::Debug for AteSource {
@@ -290,6 +323,7 @@ impl AteSource {
             out.signature = Some(misr.signature());
         }
         out.end = self.handle.now();
+        record_burst(&self.recorder, self.initiator, &out);
         out
     }
 }
@@ -324,6 +358,9 @@ pub struct CompressedAteSource {
     pub policy: DataPolicy,
     /// Cube-generation seed.
     pub seed: u64,
+    /// Optional observability recorder; the run is recorded as a
+    /// [`SpanKind::Burst`] span on the `src/<name>` track.
+    pub recorder: Option<Rc<Recorder>>,
 }
 
 impl fmt::Debug for CompressedAteSource {
@@ -424,6 +461,7 @@ impl CompressedAteSource {
             out.signature = Some(misr.signature());
         }
         out.end = self.handle.now();
+        record_burst(&self.recorder, self.initiator, &out);
         out
     }
 }
@@ -547,6 +585,7 @@ mod tests {
             patterns: 5,
             policy: DataPolicy::Full,
             seed: 3,
+            recorder: None,
         };
         let jh = sim.spawn(async move { src.run().await });
         sim.run();
@@ -587,6 +626,7 @@ mod tests {
             patterns: 4,
             policy: DataPolicy::Volume,
             seed: 1,
+            recorder: None,
         };
         let jh = sim.spawn(async move { src.run().await });
         sim.run();

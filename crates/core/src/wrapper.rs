@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
+use tve_obs::{Gauge, Histogram, Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle, Time};
 use tve_tlm::{Command, LocalBoxFuture, PowerMeter, ResponseStatus, TamIf, Transaction};
 use tve_tpg::{BitVec, Misr};
@@ -116,6 +117,15 @@ struct PowerSink {
     profile: ScanPowerProfile,
 }
 
+/// Attached observability state: the shared recorder plus the metric
+/// handles pre-registered at attach time so the scan path does no name
+/// lookups.
+struct WrapperRecorder {
+    rec: Rc<Recorder>,
+    queue_depth: Histogram,
+    wir: Gauge,
+}
+
 /// Wrapper activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WrapperStats {
@@ -153,6 +163,7 @@ pub struct TestWrapper {
     fault: Cell<Option<StuckCell>>,
     stats: Cell<WrapperStats>,
     power: RefCell<Option<PowerSink>>,
+    recorder: RefCell<Option<WrapperRecorder>>,
     /// Boundary register driven toward the interconnect (ext-test out).
     boundary_out: RefCell<Option<BitVec>>,
     /// Boundary register captured from the interconnect (ext-test in).
@@ -189,6 +200,7 @@ impl TestWrapper {
             fault: Cell::new(None),
             stats: Cell::new(WrapperStats::default()),
             power: RefCell::new(None),
+            recorder: RefCell::new(None),
             boundary_out: RefCell::new(None),
             boundary_in: RefCell::new(None),
         }
@@ -220,6 +232,23 @@ impl TestWrapper {
     /// interval, attributed to this wrapper's name.
     pub fn attach_power_meter(&self, meter: Rc<RefCell<PowerMeter>>, profile: ScanPowerProfile) {
         *self.power.borrow_mut() = Some(PowerSink { meter, profile });
+    }
+
+    /// Attaches an observability recorder: every accepted pattern becomes
+    /// a [`tve_obs::SpanKind::Scan`] span on this wrapper's track, the
+    /// `"<name>.queue_depth"` histogram samples the pattern-buffer
+    /// occupancy over time, and the `"<name>.wir"` gauge mirrors WIR
+    /// loads.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        let queue_depth = recorder
+            .metrics()
+            .histogram(&format!("{}.queue_depth", self.cfg.name));
+        let wir = recorder.metrics().gauge(&format!("{}.wir", self.cfg.name));
+        *self.recorder.borrow_mut() = Some(WrapperRecorder {
+            rec: recorder,
+            queue_depth,
+            wir,
+        });
     }
 
     /// Sets the functional-mode forwarding target (the core's functional
@@ -360,6 +389,21 @@ impl TestWrapper {
                 &self.cfg.name,
             );
         }
+        if let Some(obs) = &*self.recorder.borrow() {
+            obs.rec.record_with(|| {
+                SpanRecord::new(
+                    SpanKind::Scan,
+                    self.cfg.name.as_str(),
+                    self.mode.get().to_string(),
+                    Time::from_cycles(start),
+                    Time::from_cycles(end),
+                )
+                .with_initiator(txn.initiator.0)
+                .with_bits(txn.bit_len)
+            });
+            obs.queue_depth
+                .observe(self.handle.now(), self.pending.borrow().len() as f64);
+        }
         self.bump(|s| s.patterns += 1);
         txn.status = ResponseStatus::Ok;
     }
@@ -468,6 +512,9 @@ impl ConfigClient for TestWrapper {
 
     fn load_config(&self, value: u64) {
         self.wir.set(value);
+        if let Some(obs) = &*self.recorder.borrow() {
+            obs.wir.set(value as i64);
+        }
         match WrapperMode::decode(value) {
             Some(mode) => self.mode.set(mode),
             None => {

@@ -1,0 +1,276 @@
+//! A serde-free JSON well-formedness checker.
+//!
+//! The exporters in this crate hand-format JSON; tests use
+//! [`check_json`] to prove the output is structurally valid without
+//! pulling a JSON parser dependency into the workspace. The checker is
+//! a strict recursive-descent validator for RFC 8259 documents: it
+//! accepts exactly one top-level value (plus whitespace) and rejects
+//! trailing garbage, unterminated strings, bad escapes and malformed
+//! numbers.
+
+use std::fmt;
+
+/// Why a document failed [`check_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Checker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte 0x{other:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => {
+                    self.pos -= usize::from(self.pos > 0);
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => {
+                    self.pos -= usize::from(self.pos > 0);
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(b) if b.is_ascii_hexdigit() => {}
+                                _ => return Err(self.err("bad \\u escape")),
+                            }
+                        }
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `text` is exactly one well-formed JSON document.
+///
+/// ```
+/// use tve_obs::check_json;
+///
+/// assert!(check_json(r#"{"traceEvents": [1, -2.5e3, "a\"b", null]}"#).is_ok());
+/// assert!(check_json("{\"unclosed\": [").is_err());
+/// assert!(check_json("{} trailing").is_err());
+/// ```
+pub fn check_json(text: &str) -> Result<(), JsonError> {
+    let mut c = Checker {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    c.value()?;
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return Err(c.err("trailing data after document"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            " 0 ",
+            "-12.5e-3",
+            "\"\"",
+            r#""\u00e9\n""#,
+            "[]",
+            "[1, [2, {\"a\": null}]]",
+            "{}",
+            r#"{"a": {"b": [false, "x,y"]}}"#,
+        ] {
+            check_json(doc).unwrap_or_else(|e| panic!("rejected {doc:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"bad \\u00g0\"",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "{} {}",
+            "[1] x",
+        ] {
+            assert!(check_json(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = check_json("[1, 2, oops]").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.to_string().contains("byte 7"));
+    }
+}

@@ -28,7 +28,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tve_core::{Schedule, ScheduleError};
-use tve_soc::{run_scenario, ScenarioMetrics, SocConfig, SocTestPlan};
+use tve_obs::{SpanKind, SpanRecord, StoragePolicy, TraceLog};
+use tve_sim::Time;
+use tve_soc::{run_scenario, run_scenario_traced, ScenarioMetrics, SocConfig, SocTestPlan};
 
 /// One independent scenario simulation: a SoC configuration, a test plan
 /// and a schedule, exactly the inputs of [`run_scenario`].
@@ -149,6 +151,40 @@ impl BatchReport {
     }
 }
 
+/// A [`BatchReport`] together with the per-job [`TraceLog`]s captured by
+/// [`Farm::run_traced`].
+#[derive(Debug, Clone)]
+pub struct TracedBatch {
+    /// The batch outcomes — identical to an untraced [`Farm::run`] of the
+    /// same jobs (tracing is pure observation).
+    pub report: BatchReport,
+    /// One trace per job, in submission order (empty for failed jobs).
+    pub logs: Vec<TraceLog>,
+}
+
+impl TracedBatch {
+    /// Merges every job's trace into one log: each job's tracks are
+    /// prefixed with its label, same-named counters are summed across the
+    /// batch, and each successful job contributes a [`SpanKind::Job`]
+    /// span on the shared `"farm"` track covering its simulated extent.
+    pub fn merged(&self) -> TraceLog {
+        let mut merged = TraceLog::new();
+        for (outcome, log) in self.report.outcomes.iter().zip(&self.logs) {
+            merged.merge_labeled(&outcome.label, log.clone());
+            if let Some(cycles) = outcome.simulated_cycles() {
+                merged.spans.push(SpanRecord::new(
+                    SpanKind::Job,
+                    "farm",
+                    outcome.label.clone(),
+                    Time::ZERO,
+                    Time::from_cycles(cycles),
+                ));
+            }
+        }
+        merged
+    }
+}
+
 /// Reads `TVE_JOBS` (positive integer) or falls back to the machine's
 /// available parallelism.
 pub fn default_workers() -> usize {
@@ -229,6 +265,42 @@ impl Farm {
         }
     }
 
+    /// [`Farm::run`] with observability: each worker runs its job through
+    /// [`run_scenario_traced`] with a per-job recorder of the given
+    /// storage policy, so trace collection is as parallel as the
+    /// simulations themselves. Only the plain-data [`TraceLog`]s cross
+    /// thread boundaries. Metrics (and their digests) are identical to an
+    /// untraced run.
+    pub fn run_traced(&self, jobs: &[ScenarioJob], storage: StoragePolicy) -> TracedBatch {
+        let (results, workers, wall) = self.run_map(jobs, |job| {
+            run_scenario_traced(&job.config, &job.plan, &job.schedule, storage)
+        });
+        let mut outcomes = Vec::with_capacity(jobs.len());
+        let mut logs = Vec::with_capacity(jobs.len());
+        for (index, (job_wall, result)) in results.into_iter().enumerate() {
+            let (result, log) = match result {
+                Ok(Ok((metrics, log))) => (Ok(metrics), log),
+                Ok(Err(e)) => (Err(JobError::Schedule(e)), TraceLog::new()),
+                Err(panic_msg) => (Err(JobError::Panicked(panic_msg)), TraceLog::new()),
+            };
+            outcomes.push(JobOutcome {
+                index,
+                label: jobs[index].label.clone(),
+                wall: job_wall,
+                result,
+            });
+            logs.push(log);
+        }
+        TracedBatch {
+            report: BatchReport {
+                outcomes,
+                workers,
+                wall,
+            },
+            logs,
+        }
+    }
+
     /// Fans an arbitrary per-item computation over the worker pool:
     /// `f(item)` for every item, results in item order, panics captured
     /// per item as `Err(message)`. This is the generic substrate `run`
@@ -285,6 +357,12 @@ impl Farm {
 /// Farms `jobs` over a default-sized [`Farm`] — the one-call entry point.
 pub fn run_scenarios(jobs: &[ScenarioJob]) -> BatchReport {
     Farm::new().run(jobs)
+}
+
+/// [`run_scenarios`] with per-job trace capture — the one-call traced
+/// entry point.
+pub fn run_scenarios_traced(jobs: &[ScenarioJob], storage: StoragePolicy) -> TracedBatch {
+    Farm::new().run_traced(jobs, storage)
 }
 
 #[cfg(test)]
@@ -358,6 +436,34 @@ mod tests {
         assert_eq!(results[0].1.as_ref().unwrap(), &10);
         assert!(results[1].1.as_ref().unwrap_err().contains("boom 2"));
         assert_eq!(results[2].1.as_ref().unwrap(), &30);
+    }
+
+    #[test]
+    fn traced_batch_matches_untraced_and_merges_per_job_tracks() {
+        let jobs = mini_jobs();
+        let plain = Farm::with_workers(2).run(&jobs);
+        let traced = Farm::with_workers(2).run_traced(&jobs, StoragePolicy::Unbounded);
+        assert!(traced.report.all_ok());
+        assert_eq!(traced.logs.len(), jobs.len());
+        for (a, b) in plain.outcomes.iter().zip(&traced.report.outcomes) {
+            assert_eq!(
+                a.expect_metrics().digest(),
+                b.expect_metrics().digest(),
+                "tracing changed job '{}'",
+                a.label
+            );
+        }
+        for log in &traced.logs {
+            assert!(!log.spans.is_empty());
+        }
+        let merged = traced.merged();
+        // One Job span per successful job, plus label-prefixed tracks.
+        assert_eq!(merged.spans_on("farm", SpanKind::Job).count(), jobs.len());
+        let first = &jobs[0].label;
+        assert!(merged
+            .tracks()
+            .iter()
+            .any(|t| t.starts_with(&format!("{first}/"))));
     }
 
     #[test]

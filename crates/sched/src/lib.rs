@@ -43,7 +43,8 @@ pub use explore::{
     Candidate, ExploreReport, ValidatedCandidate, ValidationReport,
 };
 pub use farm::{
-    default_workers, run_scenarios, BatchReport, Farm, JobError, JobOutcome, ScenarioJob,
+    default_workers, run_scenarios, run_scenarios_traced, BatchReport, Farm, JobError, JobOutcome,
+    ScenarioJob, TracedBatch,
 };
 pub use packing::{greedy_schedule, optimal_schedule, sequential_schedule};
 pub use tam_alloc::{

@@ -42,7 +42,8 @@ mod soc;
 pub use cores::{ColorConversionCore, DctCore, MemoryCore};
 pub use noc_soc::{build_test_runs_noc, NocJpegSoc};
 pub use plan::{
-    build_test_runs, paper_schedules, run_scenario, PowerSummary, ScenarioMetrics, SocTestPlan,
+    build_test_runs, build_test_runs_traced, paper_schedules, run_scenario, run_scenario_traced,
+    PowerSummary, ScenarioMetrics, SocTestPlan,
 };
 pub use soc::{
     initiators, JpegEncoderSoc, PowerParams, SocConfig, CODEC_ADDR, COLOR_WRAPPER_ADDR,

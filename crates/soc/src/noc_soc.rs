@@ -271,6 +271,7 @@ pub fn build_test_runs_noc(soc: &NocJpegSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.det_proc_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 2,
+            recorder: None,
         };
         runs.push(TestRun::new("T2 proc det", async move {
             ring.write(NOC_RING_EBI, 1).await;
@@ -301,6 +302,7 @@ pub fn build_test_runs_noc(soc: &NocJpegSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.comp_proc_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 3,
+            recorder: None,
         };
         runs.push(TestRun::new("T3 proc det 50x", async move {
             ring.write(NOC_RING_EBI, 1).await;
@@ -342,6 +344,7 @@ pub fn build_test_runs_noc(soc: &NocJpegSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.det_dct_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 5,
+            recorder: None,
         };
         runs.push(TestRun::new("T5 dct det", async move {
             ring.write(NOC_RING_EBI, 1).await;

@@ -5,10 +5,11 @@ use std::fmt;
 use std::rc::Rc;
 
 use tve_core::{
-    execute_schedule, AteSource, BistSource, CompressedAteSource, DataPolicy, MemoryTestPlan,
-    ReadBack, Schedule, ScheduleError, ScheduleResult, TestRun, WrapperMode,
+    execute_schedule_traced, AteSource, BistSource, CompressedAteSource, DataPolicy,
+    MemoryTestPlan, ReadBack, Schedule, ScheduleError, ScheduleResult, TestRun, WrapperMode,
 };
 use tve_memtest::{MarchTest, PatternTest};
+use tve_obs::{Recorder, StoragePolicy, TraceLog};
 use tve_sim::{Duration, Simulation};
 use tve_tlm::TamIf;
 
@@ -110,13 +111,24 @@ impl SocTestPlan {
 /// configuration scan ring (the step a hand-written test program can get
 /// wrong — which the Virtual ATE then catches).
 pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun> {
+    build_test_runs_traced(soc, plan, None)
+}
+
+/// [`build_test_runs`] with observability: when a recorder is given, every
+/// pattern source additionally records its run as a
+/// [`tve_obs::SpanKind::Burst`] span on its `src/<name>` track.
+pub fn build_test_runs_traced(
+    soc: &JpegEncoderSoc,
+    plan: &SocTestPlan,
+    recorder: Option<&Rc<Recorder>>,
+) -> Vec<TestRun> {
     let cfg = &soc.config;
     let mut runs = Vec::new();
 
     // Test 1: BIST of the full-scan processor core.
     {
         let ring = Rc::clone(&soc.ring);
-        let src = BistSource::new(
+        let mut src = BistSource::new(
             &soc.handle,
             "T1 proc BIST",
             Rc::clone(&soc.bus) as Rc<dyn TamIf>,
@@ -127,6 +139,9 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
             plan.policy,
             plan.seed ^ 1,
         );
+        if let Some(rec) = recorder {
+            src = src.with_recorder(Rc::clone(rec));
+        }
         runs.push(TestRun::new("T1 proc BIST", async move {
             ring.write(RING_PROC, WrapperMode::Bist.encode()).await;
             src.run().await
@@ -147,6 +162,7 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.det_proc_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 2,
+            recorder: recorder.map(Rc::clone),
         };
         runs.push(TestRun::new("T2 proc det", async move {
             ring.write(RING_EBI, 1).await;
@@ -179,6 +195,7 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.comp_proc_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 3,
+            recorder: recorder.map(Rc::clone),
         };
         runs.push(TestRun::new("T3 proc det 50x", async move {
             ring.write(RING_EBI, 1).await;
@@ -191,7 +208,7 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
     // Test 4: BIST of the color conversion core.
     {
         let ring = Rc::clone(&soc.ring);
-        let src = BistSource::new(
+        let mut src = BistSource::new(
             &soc.handle,
             "T4 color BIST",
             Rc::clone(&soc.bus) as Rc<dyn TamIf>,
@@ -202,6 +219,9 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
             plan.policy,
             plan.seed ^ 4,
         );
+        if let Some(rec) = recorder {
+            src = src.with_recorder(Rc::clone(rec));
+        }
         runs.push(TestRun::new("T4 color BIST", async move {
             ring.write(RING_COLOR, WrapperMode::Bist.encode()).await;
             src.run().await
@@ -222,6 +242,7 @@ pub fn build_test_runs(soc: &JpegEncoderSoc, plan: &SocTestPlan) -> Vec<TestRun>
             patterns: plan.det_dct_patterns,
             policy: plan.policy,
             seed: plan.seed ^ 5,
+            recorder: recorder.map(Rc::clone),
         };
         runs.push(TestRun::new("T5 dct det", async move {
             ring.write(RING_EBI, 1).await;
@@ -407,11 +428,53 @@ pub fn run_scenario(
     plan: &SocTestPlan,
     schedule: &Schedule,
 ) -> Result<ScenarioMetrics, ScheduleError> {
+    run_scenario_impl(config, plan, schedule, None)
+}
+
+/// [`run_scenario`] with observability: builds the SoC with a
+/// [`Recorder`] of the given storage policy attached to every block, runs
+/// the scenario, and returns the metrics together with the recorded
+/// [`TraceLog`] (export it with [`tve_obs::write_chrome_trace`] or
+/// [`tve_obs::write_spans_csv`]).
+///
+/// Tracing is pure observation: the metrics — including
+/// [`ScenarioMetrics::digest`] — are identical to an untraced
+/// [`run_scenario`] of the same scenario.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if `schedule` is not well-formed for the
+/// seven-test list.
+pub fn run_scenario_traced(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    storage: StoragePolicy,
+) -> Result<(ScenarioMetrics, TraceLog), ScheduleError> {
+    let rec = Rc::new(Recorder::new(storage));
+    let metrics = run_scenario_impl(config, plan, schedule, Some(&rec))?;
+    Ok((metrics, rec.take_log()))
+}
+
+fn run_scenario_impl(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    recorder: Option<&Rc<Recorder>>,
+) -> Result<ScenarioMetrics, ScheduleError> {
     let mut sim = Simulation::new();
     let soc = JpegEncoderSoc::build(&sim.handle(), config.clone());
-    let tests = build_test_runs(&soc, plan);
-    let result = execute_schedule(&mut sim, tests, schedule)?;
+    if let Some(rec) = recorder {
+        soc.attach_recorder(rec);
+    }
+    let tests = build_test_runs_traced(&soc, plan, recorder);
+    let result = execute_schedule_traced(&mut sim, tests, schedule, recorder)?;
     soc.bus.observe_monitor_until(sim.now());
+    if let Some(rec) = recorder {
+        // Keep the trace's observation span consistent with the monitor's,
+        // so utilization recomputed from spans matches the monitor exactly.
+        rec.observe_until(sim.now());
+    }
     let monitor = soc.bus.monitor();
     // Average over the full observed activity span (simulation start to
     // last bus activity): consistent with the windows peak detection uses.
@@ -507,6 +570,39 @@ mod tests {
         assert!(t1.outcome.signature.is_some());
         let t2 = m.result.slot("T2 proc det").unwrap();
         assert!(t2.outcome.signature.is_some());
+    }
+
+    #[test]
+    fn traced_scenario_is_bit_identical_and_captures_spans() {
+        use tve_obs::{SpanKind, StoragePolicy};
+        let cfg = mini_config();
+        let plan = SocTestPlan::small();
+        let schedule = &paper_schedules()[2];
+        let plain = run_scenario(&cfg, &plan, schedule).unwrap();
+        let (traced, log) =
+            run_scenario_traced(&cfg, &plan, schedule, StoragePolicy::Unbounded).unwrap();
+        assert_eq!(plain.digest(), traced.digest(), "tracing must not perturb");
+        // Every instrumented layer shows up: bus transfers, wrapper scans,
+        // ring rotations, schedule phases and per-test spans.
+        let tracks = log.tracks();
+        assert!(tracks.contains(&"system-bus/TAM"), "{tracks:?}");
+        assert!(tracks.contains(&"proc-wrapper"), "{tracks:?}");
+        assert!(tracks.contains(&"config-ring"), "{tracks:?}");
+        assert!(tracks.contains(&"schedule"), "{tracks:?}");
+        assert!(tracks.contains(&"tests"), "{tracks:?}");
+        assert!(log
+            .spans_on("system-bus/TAM", SpanKind::Transfer)
+            .next()
+            .is_some());
+        assert_eq!(
+            log.spans_on("schedule", SpanKind::Phase).count(),
+            schedule.phases.len()
+        );
+        // An Off recorder keeps no spans and still changes nothing.
+        let (off, off_log) =
+            run_scenario_traced(&cfg, &plan, schedule, StoragePolicy::Off).unwrap();
+        assert_eq!(off.digest(), plain.digest());
+        assert!(off_log.spans.is_empty());
     }
 
     #[test]

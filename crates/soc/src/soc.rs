@@ -10,6 +10,7 @@ use tve_core::{
     CodecConfig, ConfigClient, ConfigScanRing, DataPolicy, DecompressorCompactor, Ebi,
     ScanPowerProfile, SyntheticLogicCore, TestController, TestWrapper, VirtualAte, WrapperConfig,
 };
+use tve_obs::Recorder;
 use tve_sim::{Duration, SimHandle};
 use tve_tlm::{
     AddrRange, ArbiterPolicy, BusConfig, BusTam, InitiatorId, PowerMeter, SinkTarget, TamIf,
@@ -419,6 +420,26 @@ impl JpegEncoderSoc {
             processor,
             power_meter,
         }
+    }
+
+    /// Attaches an observability recorder to every instrumented block of
+    /// the SoC — the system bus, all four test wrappers, the
+    /// configuration scan ring and both memory-test engines — mirroring
+    /// the power-meter fan-out. Call before running test sequences; the
+    /// trace is then retrieved with [`tve_obs::Recorder::take_log`].
+    pub fn attach_recorder(&self, recorder: &Rc<Recorder>) {
+        self.bus.attach_recorder(Rc::clone(recorder));
+        for w in [
+            &self.proc_wrapper,
+            &self.color_wrapper,
+            &self.dct_wrapper,
+            &self.mem_wrapper,
+        ] {
+            w.attach_recorder(Rc::clone(recorder));
+        }
+        self.ring.attach_recorder(Rc::clone(recorder));
+        self.controller.attach_recorder(Rc::clone(recorder));
+        self.processor.attach_recorder(Rc::clone(recorder));
     }
 
     /// A Virtual ATE attached to this SoC's ring and wrappers

@@ -10,6 +10,7 @@ use std::cell::{Cell, Ref, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
+use tve_obs::{Counter, Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle};
 
 use crate::arbiter::{Arbiter, ArbiterPolicy};
@@ -17,6 +18,36 @@ use crate::monitor::UtilizationMonitor;
 use crate::payload::{Command, ResponseStatus, Transaction};
 use crate::power::PowerMeter;
 use crate::transport::{LocalBoxFuture, TamIf};
+
+/// A channel's attachment to an observability [`Recorder`]: the shared
+/// recorder plus pre-registered counter handles, so per-transfer bumps
+/// never do name lookups on the hot path.
+pub(crate) struct ChannelRecorder {
+    pub(crate) rec: Rc<Recorder>,
+    pub(crate) transfers: Counter,
+    pub(crate) bits: Counter,
+}
+
+impl ChannelRecorder {
+    pub(crate) fn new(channel: &str, rec: Rc<Recorder>) -> Self {
+        let transfers = rec.metrics().counter(&format!("{channel}.transfers"));
+        let bits = rec.metrics().counter(&format!("{channel}.bits"));
+        ChannelRecorder {
+            rec,
+            transfers,
+            bits,
+        }
+    }
+}
+
+/// The span label for a TAM command.
+pub(crate) fn command_label(cmd: Command) -> &'static str {
+    match cmd {
+        Command::Read => "read",
+        Command::Write => "write",
+        Command::WriteRead => "write_read",
+    }
+}
 
 /// A half-open address range `[base, base + size)` in the TAM address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -142,6 +173,7 @@ pub struct BusTam {
     monitor: RefCell<UtilizationMonitor>,
     rejected: Cell<u64>,
     power: RefCell<Option<(Rc<RefCell<PowerMeter>>, f64)>>,
+    recorder: RefCell<Option<ChannelRecorder>>,
 }
 
 impl fmt::Debug for BusTam {
@@ -169,6 +201,7 @@ impl BusTam {
             monitor: RefCell::new(UtilizationMonitor::new(cfg.monitor_window)),
             rejected: Cell::new(0),
             power: RefCell::new(None),
+            recorder: RefCell::new(None),
             cfg,
         }
     }
@@ -177,6 +210,15 @@ impl BusTam {
     /// `active_power`, attributed to the channel's name.
     pub fn attach_power_meter(&self, meter: Rc<RefCell<PowerMeter>>, active_power: f64) {
         *self.power.borrow_mut() = Some((meter, active_power));
+    }
+
+    /// Attaches an observability recorder: every granted occupancy chunk
+    /// becomes a [`tve_obs::SpanKind::Transfer`] span on this channel's
+    /// track (1:1 with [`UtilizationMonitor::record_busy`] calls), and
+    /// the `"<name>.transfers"` / `"<name>.bits"` counters accumulate in
+    /// the recorder's metrics registry.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        *self.recorder.borrow_mut() = Some(ChannelRecorder::new(&self.cfg.name, recorder));
     }
 
     /// The channel configuration.
@@ -268,6 +310,22 @@ impl TamIf for BusTam {
                     meter
                         .borrow_mut()
                         .record(self.handle.now(), dur, *p, &self.cfg.name);
+                }
+                if let Some(obs) = &*self.recorder.borrow() {
+                    let start = self.handle.now();
+                    obs.rec.record_with(|| {
+                        SpanRecord::new(
+                            SpanKind::Transfer,
+                            self.cfg.name.as_str(),
+                            command_label(txn.cmd),
+                            start,
+                            start + dur,
+                        )
+                        .with_initiator(txn.initiator.0)
+                        .with_bits(chunk)
+                    });
+                    obs.transfers.inc();
+                    obs.bits.add(chunk);
                 }
                 self.handle.wait(dur).await;
                 // Split-transaction semantics: the channel is released
@@ -516,6 +574,82 @@ mod tests {
             segmented <= 15,
             "segmented bus must interleave quickly, got {segmented}"
         );
+    }
+
+    #[test]
+    fn recorder_spans_mirror_the_monitor_exactly() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let bus = Rc::new(BusTam::new(
+            &h,
+            BusConfig {
+                max_burst_bits: Some(64),
+                ..BusConfig::default()
+            },
+        ));
+        bus.bind(
+            AddrRange::new(0x1000, 0x1000),
+            Rc::new(SinkTarget::new("s")),
+        )
+        .unwrap();
+        let rec = Rc::new(tve_obs::Recorder::unbounded());
+        bus.attach_recorder(Rc::clone(&rec));
+        for i in 0..3u8 {
+            let b = Rc::clone(&bus);
+            sim.spawn(async move {
+                b.transfer_volume(InitiatorId(i), Command::Write, 0x1000, 160)
+                    .await
+                    .unwrap();
+            });
+        }
+        sim.run();
+        let log = rec.take_log();
+        // One span per monitor-recorded chunk, same busy cycles.
+        assert_eq!(log.spans.len() as u64, bus.monitor().transfer_count());
+        let span_busy: u64 = log.spans.iter().map(|s| s.duration().as_cycles()).sum();
+        assert_eq!(span_busy, bus.monitor().total_busy_cycles());
+        let u = tve_obs::utilization_from_spans(
+            log.spans.iter(),
+            bus.config().monitor_window.as_cycles(),
+            bus.monitor().last_activity_end(),
+        );
+        assert_eq!(u.peak(), bus.monitor().peak_utilization());
+        assert_eq!(
+            u.average(),
+            bus.monitor()
+                .average_utilization(bus.monitor().last_activity_end())
+        );
+        for (ini, busy) in bus.monitor().per_initiator() {
+            assert_eq!(
+                u.per_initiator.iter().find(|&&(i, _)| i == ini.0),
+                Some(&(ini.0, busy))
+            );
+        }
+        // Counters accumulated alongside.
+        assert_eq!(
+            log.counters,
+            vec![
+                ("bus.transfers".to_string(), log.spans.len() as u64),
+                ("bus.bits".to_string(), 480),
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_changes_nothing_and_stores_nothing() {
+        let (mut sim, bus, _) = setup();
+        let rec = Rc::new(tve_obs::Recorder::disabled());
+        bus.attach_recorder(Rc::clone(&rec));
+        let b = Rc::clone(&bus);
+        sim.spawn(async move {
+            b.write(InitiatorId(0), 0x1000, &[1, 2, 3, 4], 128)
+                .await
+                .unwrap();
+        });
+        assert_eq!(sim.run().cycles(), 5);
+        assert_eq!(rec.span_count(), 0);
+        // Counters still count (they are cheap plain cells).
+        assert_eq!(rec.metrics().counter("bus.transfers").get(), 1);
     }
 
     #[test]

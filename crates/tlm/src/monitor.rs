@@ -258,4 +258,66 @@ mod tests {
     fn zero_window_panics() {
         let _ = UtilizationMonitor::new(Duration::ZERO);
     }
+
+    #[test]
+    fn long_interval_spans_many_windows() {
+        let mut m = UtilizationMonitor::new(d(10));
+        // [3, 1003): 100 full windows plus two partial edges.
+        m.record_busy(t(3), d(1000), InitiatorId(0));
+        let windows: Vec<_> = m.window_busy().collect();
+        assert_eq!(windows.len(), 101);
+        assert_eq!(windows[0], (0, 7));
+        assert!(windows[1..100].iter().all(|&(_, busy)| busy == 10));
+        assert_eq!(windows[100], (100, 3));
+        let window_sum: u64 = windows.iter().map(|&(_, busy)| busy).sum();
+        assert_eq!(window_sum, m.total_busy_cycles());
+        assert_eq!(m.peak_utilization(), 1.0);
+    }
+
+    #[test]
+    fn zero_length_duration_counts_a_transfer_but_no_busy_cycles() {
+        let mut m = UtilizationMonitor::new(d(10));
+        m.record_busy(t(5), d(0), InitiatorId(1));
+        assert_eq!(m.transfer_count(), 1);
+        assert_eq!(m.total_busy_cycles(), 0);
+        assert_eq!(m.busy_cycles_of(InitiatorId(1)), 0);
+        assert_eq!(m.window_busy().count(), 0, "no window entry for 0 cycles");
+        assert_eq!(m.peak_utilization(), 0.0);
+        // The zero-length event still marks the observation point.
+        assert_eq!(m.last_activity_end(), t(5));
+    }
+
+    #[test]
+    fn observe_until_before_last_activity_end_is_a_no_op() {
+        let mut m = UtilizationMonitor::new(d(100));
+        m.record_busy(t(0), d(80), InitiatorId(0));
+        let peak_before = m.peak_utilization();
+        m.observe_until(t(40)); // earlier than last_end = 80
+        assert_eq!(m.last_activity_end(), t(80));
+        assert_eq!(m.peak_utilization(), peak_before);
+    }
+
+    #[test]
+    fn observe_until_after_last_activity_end_extends_and_dilutes() {
+        let mut m = UtilizationMonitor::new(d(100));
+        m.record_busy(t(0), d(80), InitiatorId(0));
+        assert_eq!(m.peak_utilization(), 1.0); // 80 busy of 80 observed
+        m.observe_until(t(160));
+        assert_eq!(m.last_activity_end(), t(160));
+        // Window 0 now normalizes by the full window length.
+        assert!((m.peak_utilization() - 0.8).abs() < 1e-12);
+        // Idle observation never adds busy cycles or transfers.
+        assert_eq!(m.total_busy_cycles(), 80);
+        assert_eq!(m.transfer_count(), 1);
+    }
+
+    #[test]
+    fn per_initiator_busy_sums_to_total() {
+        let mut m = UtilizationMonitor::new(d(7));
+        for (k, ini) in [(0u64, 0u8), (1, 3), (2, 0), (3, 7), (4, 3)] {
+            m.record_busy(t(k * 13), d(k + 1), InitiatorId(ini));
+        }
+        let sum: u64 = m.per_initiator().map(|(_, busy)| busy).sum();
+        assert_eq!(sum, m.total_busy_cycles());
+    }
 }

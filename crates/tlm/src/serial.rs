@@ -10,9 +10,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use tve_obs::{Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle};
 
-use crate::bus::{AddrRange, BindError};
+use crate::bus::{command_label, AddrRange, BindError, ChannelRecorder};
 use crate::monitor::UtilizationMonitor;
 use crate::payload::{ResponseStatus, Transaction};
 use crate::transport::{LocalBoxFuture, TamIf};
@@ -38,6 +39,7 @@ pub struct SerialTam {
     slots: RefCell<Vec<SerialSlot>>,
     arbiter: Arbiter,
     monitor: RefCell<UtilizationMonitor>,
+    recorder: RefCell<Option<ChannelRecorder>>,
 }
 
 impl fmt::Debug for SerialTam {
@@ -60,7 +62,16 @@ impl SerialTam {
             slots: RefCell::new(Vec::new()),
             arbiter: Arbiter::new(handle, crate::ArbiterPolicy::Fcfs),
             monitor: RefCell::new(UtilizationMonitor::new(Duration::cycles(65_536))),
+            recorder: RefCell::new(None),
         }
+    }
+
+    /// Attaches an observability recorder: every chain occupancy becomes
+    /// a [`tve_obs::SpanKind::Transfer`] span on this chain's track, and
+    /// the `"<name>.transfers"` / `"<name>.bits"` counters accumulate in
+    /// the recorder's metrics registry.
+    pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
+        *self.recorder.borrow_mut() = Some(ChannelRecorder::new(&self.name, recorder));
     }
 
     /// Appends `target` to the chain, reachable at `range`, contributing
@@ -140,6 +151,22 @@ impl TamIf for SerialTam {
             self.monitor
                 .borrow_mut()
                 .record_busy(self.handle.now(), dur, txn.initiator);
+            if let Some(obs) = &*self.recorder.borrow() {
+                let start = self.handle.now();
+                obs.rec.record_with(|| {
+                    SpanRecord::new(
+                        SpanKind::Transfer,
+                        self.name.as_str(),
+                        command_label(txn.cmd),
+                        start,
+                        start + dur,
+                    )
+                    .with_initiator(txn.initiator.0)
+                    .with_bits(txn.bit_len)
+                });
+                obs.transfers.inc();
+                obs.bits.add(txn.bit_len);
+            }
             self.handle.wait(dur).await;
             self.arbiter.release();
             target.transport(txn).await;

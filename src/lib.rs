@@ -9,6 +9,8 @@
 //! The workspace layers are:
 //!
 //! * [`sim`] — deterministic discrete-event kernel with async processes,
+//! * [`obs`] — observability: span/event recorder, metrics registry,
+//!   Chrome-trace/CSV exporters and span-based aggregation,
 //! * [`tlm`] — transaction-level modeling layer (payloads, TAM interface,
 //!   bus channel, utilization monitors),
 //! * [`tpg`] — test pattern generation (LFSR/PRPG/MISR, compression),
@@ -25,6 +27,7 @@ pub use tve_core as core;
 pub use tve_memtest as memtest;
 pub use tve_netlist as netlist;
 pub use tve_noc as noc;
+pub use tve_obs as obs;
 pub use tve_sched as sched;
 pub use tve_sim as sim;
 pub use tve_soc as soc;

@@ -187,3 +187,58 @@ proptest! {
         prop_assert_eq!(end.cycles(), expected);
     }
 }
+
+// The span-based aggregation of tve-obs deliberately re-implements the
+// monitor's windowing; this property pins the two to each other on
+// arbitrary interval soups (overlap allowed — both sides double-count
+// identically).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_aggregation_matches_utilization_monitor(
+        intervals in proptest::collection::vec(
+            (0u64..10_000, 1u64..600, 0u8..4), 1..40),
+        window in 16u64..2048,
+        slack in 0u64..5000,
+    ) {
+        use tve::obs::{utilization_from_spans, SpanKind, SpanRecord};
+
+        let mut monitor = UtilizationMonitor::new(Duration::cycles(window));
+        let mut spans = Vec::new();
+        let mut max_end = 0u64;
+        for &(start, len, who) in &intervals {
+            monitor.record_busy(
+                Time::from_cycles(start),
+                Duration::cycles(len),
+                InitiatorId(who),
+            );
+            spans.push(
+                SpanRecord::new(
+                    SpanKind::Transfer,
+                    "bus",
+                    "xfer",
+                    Time::from_cycles(start),
+                    Time::from_cycles(start + len),
+                )
+                .with_initiator(who),
+            );
+            max_end = max_end.max(start + len);
+        }
+        let observe = Time::from_cycles(max_end + slack);
+        monitor.observe_until(observe);
+
+        let u = utilization_from_spans(spans.iter(), window, observe);
+        prop_assert_eq!(u.total_busy, monitor.total_busy_cycles());
+        prop_assert_eq!(u.transfers, monitor.transfer_count());
+        prop_assert_eq!(u.observed_end, monitor.last_activity_end().cycles());
+        // Bit-exact, not approximate: same chunking, same normalization.
+        prop_assert_eq!(u.peak(), monitor.peak_utilization());
+        prop_assert_eq!(u.average(), monitor.average_utilization(observe));
+        let window_busy: Vec<(u64, u64)> = monitor.window_busy().collect();
+        prop_assert_eq!(&u.window_busy, &window_busy);
+        for &(who, busy) in &u.per_initiator {
+            prop_assert_eq!(busy, monitor.busy_cycles_of(InitiatorId(who)));
+        }
+    }
+}
