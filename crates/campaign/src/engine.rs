@@ -1,0 +1,289 @@
+//! The campaign engine: golden baselines, the (fault × schedule) matrix
+//! fanned over the validation farm, and the diagnosis cross-check.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use tve_core::{diagnose_bist, CoreModel, Schedule, StuckCell, TestWrapper, WrapperConfig};
+use tve_obs::{earliest_span_end, SpanKind, StoragePolicy, TraceLog};
+use tve_sched::Farm;
+use tve_sim::Simulation;
+use tve_soc::{
+    run_scenario, run_scenario_prepared_traced, scan_view, JpegEncoderSoc, ScenarioMetrics,
+    SocConfig, SocTestPlan, WrappedCore,
+};
+
+use crate::fault::FaultSpec;
+use crate::matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck};
+
+/// Everything a campaign run needs, as plain (clonable) data.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The SoC under campaign.
+    pub soc: SocConfig,
+    /// The test plan every schedule executes.
+    pub plan: SocTestPlan,
+    /// The schedules to validate (typically the four Table-I schedules).
+    pub schedules: Vec<Schedule>,
+    /// The fault population (see [`crate::generate`]).
+    pub population: Vec<FaultSpec>,
+    /// Whether to run the diagnosis cross-check on detected scan faults.
+    pub diagnosis: bool,
+    /// BIST patterns per diagnosis run.
+    pub diagnosis_patterns: u64,
+    /// Signature-window size of the diagnosis phase 1.
+    pub diagnosis_window: u64,
+}
+
+impl CampaignConfig {
+    /// A campaign over `schedules` with sensible diagnosis defaults.
+    pub fn new(
+        soc: SocConfig,
+        plan: SocTestPlan,
+        schedules: Vec<Schedule>,
+        population: Vec<FaultSpec>,
+    ) -> Self {
+        CampaignConfig {
+            soc,
+            plan,
+            schedules,
+            population,
+            diagnosis: true,
+            diagnosis_patterns: 96,
+            diagnosis_window: 16,
+        }
+    }
+}
+
+/// Applies `fault` to a freshly built SoC (the `prepare` hook of
+/// [`run_scenario_prepared_traced`]). TAM corruption is config-driven
+/// (the adaptor must exist before the EBI binds to the bus) and is a
+/// no-op here.
+pub fn apply_fault(soc: &JpegEncoderSoc, fault: &FaultSpec) {
+    match fault {
+        FaultSpec::ScanCell { core, cell } => {
+            soc.wrapper_of(*core).inject_fault(Some(*cell));
+        }
+        FaultSpec::Memory { fault } => soc.memory.inject(*fault),
+        FaultSpec::TamCorruption { .. } => {}
+        FaultSpec::WirStuck { core, fault } => {
+            soc.wrapper_of(*core).inject_wir_fault(Some(*fault));
+        }
+        FaultSpec::RingBreak { index } => soc.ring.break_segment(Some(*index)),
+    }
+}
+
+/// The per-core BIST seed the plan's pattern sources use — diagnosis
+/// replays the same pseudo-random stream.
+fn plan_seed(plan: &SocTestPlan, core: WrappedCore) -> u64 {
+    match core {
+        WrappedCore::Processor => plan.seed ^ 1,
+        WrappedCore::ColorConversion => plan.seed ^ 4,
+        WrappedCore::Dct => plan.seed ^ 5,
+        WrappedCore::MemoryPeriphery => plan.seed ^ 6,
+    }
+}
+
+fn classify(golden: &ScenarioMetrics, faulty: &ScenarioMetrics, log: &TraceLog) -> CellOutcome {
+    if golden.digest() == faulty.digest() {
+        return CellOutcome::Escape;
+    }
+    // Which tests deviated? Prefer data deviations (pattern counts,
+    // signatures, mismatches, errors, failing addresses); fall back to
+    // timing-only shifts when the data is identical but the digest moved.
+    let golden_by_name: BTreeMap<&str, _> = golden
+        .result
+        .slots
+        .iter()
+        .map(|s| (s.outcome.name.as_str(), &s.outcome))
+        .collect();
+    let data_of = |o: &tve_core::TestOutcome| {
+        (
+            o.patterns,
+            o.stimulus_bits,
+            o.response_bits,
+            o.signature,
+            o.mismatches,
+            o.errors,
+            o.failing_addresses.clone(),
+        )
+    };
+    let mut deviating: Vec<String> = faulty
+        .result
+        .slots
+        .iter()
+        .filter(|s| {
+            golden_by_name
+                .get(s.outcome.name.as_str())
+                .is_none_or(|g| data_of(g) != data_of(&s.outcome))
+        })
+        .map(|s| s.outcome.name.clone())
+        .collect();
+    if deviating.is_empty() {
+        deviating = faulty
+            .result
+            .slots
+            .iter()
+            .filter(|s| {
+                golden_by_name
+                    .get(s.outcome.name.as_str())
+                    .is_none_or(|g| (g.start, g.end) != (s.outcome.start, s.outcome.end))
+            })
+            .map(|s| s.outcome.name.clone())
+            .collect();
+    }
+    // Time-to-detection: the earliest completion of a deviating test —
+    // the first simulated moment the tester could have flagged the part.
+    let names: Vec<&str> = deviating.iter().map(String::as_str).collect();
+    let latency_cycles = earliest_span_end(log.spans.iter(), SpanKind::Test, &names)
+        .map(|t| t.cycles())
+        .unwrap_or(faulty.total_cycles);
+    CellOutcome::Detected {
+        latency_cycles,
+        deviating,
+    }
+}
+
+fn diagnose_scan_fault(
+    config: &CampaignConfig,
+    core: WrappedCore,
+    cell: StuckCell,
+) -> DiagnosisCheck {
+    let mut sim = Simulation::new();
+    let handle = sim.handle();
+    let model = Rc::new(scan_view(&config.soc, core));
+    let scan = model.scan_config();
+    let wrapper = |name: &str| {
+        Rc::new(TestWrapper::new(
+            &handle,
+            WrapperConfig {
+                name: name.to_string(),
+                capture_cycles: config.soc.capture_cycles,
+                ..WrapperConfig::default()
+            },
+            Rc::clone(&model) as Rc<dyn CoreModel>,
+        ))
+    };
+    let golden = wrapper("diag-golden");
+    let dut = wrapper("diag-dut");
+    dut.inject_fault(Some(cell));
+    let seed = plan_seed(&config.plan, core);
+    let (patterns, window) = (config.diagnosis_patterns, config.diagnosis_window);
+    let h = handle.clone();
+    let g = Rc::clone(&golden);
+    let d = Rc::clone(&dut);
+    let jh =
+        sim.spawn(async move { diagnose_bist(&h, &g, &d, scan, seed, patterns, window).await });
+    sim.run();
+    let report = jh.try_take().expect("diagnosis completes");
+    let confirmed = report.failing_cells.len() == 1
+        && report.failing_cells[0].chain == cell.chain
+        && report.failing_cells[0].position == cell.position;
+    DiagnosisCheck {
+        fault_id: FaultSpec::ScanCell { core, cell }.id(),
+        core,
+        injected: cell,
+        located: report.failing_cells.clone(),
+        first_failing_pattern: report.first_failing_pattern,
+        confirmed,
+    }
+}
+
+/// Runs the full campaign on `farm`: golden baselines per schedule, then
+/// every (fault × schedule) cell in parallel, then the diagnosis
+/// cross-check on detected scan-cell faults.
+///
+/// Results are in submission order — fault-major, schedule-minor, exactly
+/// the population × schedule order of `config` — regardless of worker
+/// count, so the emitted matrix is byte-identical for any `TVE_JOBS`.
+///
+/// # Panics
+///
+/// Panics if a schedule is not well-formed for the seven-test plan (the
+/// golden baseline fails), or if a golden run reports test errors.
+pub fn run_campaign(config: &CampaignConfig, farm: &Farm) -> CampaignReport {
+    // Golden baselines, farmed per schedule.
+    let (golden_results, _, _) = farm.run_map(&config.schedules, |schedule| {
+        run_scenario(&config.soc, &config.plan, schedule)
+            .unwrap_or_else(|e| panic!("golden run of '{}' failed: {e}", schedule.name))
+    });
+    let mut golden: BTreeMap<String, ScenarioMetrics> = BTreeMap::new();
+    for (schedule, (_, result)) in config.schedules.iter().zip(golden_results) {
+        let metrics = result.expect("golden scenario must not panic");
+        assert!(
+            metrics.result.clean(),
+            "golden run of '{}' reported errors: {}",
+            schedule.name,
+            metrics.result
+        );
+        golden.insert(schedule.name.clone(), metrics);
+    }
+
+    // The (fault × schedule) matrix, fault-major.
+    let cells: Vec<(usize, usize)> = (0..config.population.len())
+        .flat_map(|f| (0..config.schedules.len()).map(move |s| (f, s)))
+        .collect();
+    let (outcomes, _, _) = farm.run_map(&cells, |&(fi, si)| {
+        let fault = &config.population[fi];
+        let schedule = &config.schedules[si];
+        let mut soc = config.soc.clone();
+        if let FaultSpec::TamCorruption { policy } = fault {
+            soc.tam_fault = Some(*policy);
+        }
+        let (metrics, log) = run_scenario_prepared_traced(
+            &soc,
+            &config.plan,
+            schedule,
+            StoragePolicy::Unbounded,
+            |soc| apply_fault(soc, fault),
+        )
+        .unwrap_or_else(|e| panic!("schedule '{}' rejected: {e}", schedule.name));
+        classify(&golden[&schedule.name], &metrics, &log)
+    });
+    let results: Vec<CellResult> = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(&(fi, si), (_, outcome))| {
+            let fault = &config.population[fi];
+            CellResult {
+                fault_id: fault.id(),
+                fault_class: fault.class().to_string(),
+                schedule: config.schedules[si].name.clone(),
+                outcome: outcome
+                    .unwrap_or_else(|panic_msg| CellOutcome::InfraFailure { error: panic_msg }),
+            }
+        })
+        .collect();
+
+    // Diagnosis cross-check: each scan-cell fault that was detected in at
+    // least one schedule is taken to the (simulated) diagnosis station.
+    let mut diagnosis = Vec::new();
+    if config.diagnosis {
+        let detected_scan: Vec<(WrappedCore, StuckCell)> = config
+            .population
+            .iter()
+            .filter_map(|f| match f {
+                FaultSpec::ScanCell { core, cell } => {
+                    let detected = results.iter().any(|r| {
+                        r.fault_id == f.id() && matches!(r.outcome, CellOutcome::Detected { .. })
+                    });
+                    detected.then_some((*core, *cell))
+                }
+                _ => None,
+            })
+            .collect();
+        let (checks, _, _) = farm.run_map(&detected_scan, |&(core, cell)| {
+            diagnose_scan_fault(config, core, cell)
+        });
+        diagnosis = checks
+            .into_iter()
+            .map(|(_, r)| r.expect("diagnosis must not panic"))
+            .collect();
+    }
+
+    CampaignReport {
+        schedules: config.schedules.iter().map(|s| s.name.clone()).collect(),
+        cells: results,
+        diagnosis,
+    }
+}

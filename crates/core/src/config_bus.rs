@@ -40,6 +40,10 @@ pub struct ConfigScanRing {
     clients: Vec<Rc<dyn ConfigClient>>,
     clock_div: u64,
     rotations: Cell<u64>,
+    /// Fault hook: clients at index >= this never see shifted data.
+    broken_at: Cell<Option<usize>>,
+    /// Configuration operations swallowed by the broken segment.
+    lost_ops: Cell<u64>,
     recorder: RefCell<Option<RingRecorder>>,
 }
 
@@ -67,7 +71,34 @@ impl ConfigScanRing {
             clients,
             clock_div,
             rotations: Cell::new(0),
+            broken_at: Cell::new(None),
+            lost_ops: Cell::new(0),
             recorder: RefCell::new(None),
+        }
+    }
+
+    /// Breaks (or repairs, with `None`) the ring wire just before client
+    /// `index`: clients at `index` and beyond stop receiving shifted data —
+    /// writes to them are lost and reads from them return zero — while the
+    /// rotation still costs full time (the ATE keeps clocking an open
+    /// circuit). Models a severed test-infrastructure segment for
+    /// fault-injection campaigns.
+    pub fn break_segment(&self, index: Option<usize>) {
+        self.broken_at.set(index);
+    }
+
+    /// Configuration writes/reads swallowed by a broken segment so far.
+    pub fn lost_op_count(&self) -> u64 {
+        self.lost_ops.get()
+    }
+
+    fn reaches(&self, index: usize) -> bool {
+        match self.broken_at.get() {
+            Some(b) if index >= b => {
+                self.lost_ops.set(self.lost_ops.get() + 1);
+                false
+            }
+            _ => true,
         }
     }
 
@@ -133,7 +164,9 @@ impl ConfigScanRing {
         assert!(index < self.clients.len(), "config client index in range");
         let start = self.handle.now();
         self.rotate().await;
-        self.clients[index].load_config(value);
+        if self.reaches(index) {
+            self.clients[index].load_config(value);
+        }
         self.record_rotation("write", Some(index), start);
     }
 
@@ -145,7 +178,11 @@ impl ConfigScanRing {
     pub async fn read(&self, index: usize) -> u64 {
         assert!(index < self.clients.len(), "config client index in range");
         let start = self.handle.now();
-        let v = self.clients[index].read_config();
+        let v = if self.reaches(index) {
+            self.clients[index].read_config()
+        } else {
+            0
+        };
         self.rotate().await;
         self.record_rotation("read", Some(index), start);
         v
@@ -165,8 +202,10 @@ impl ConfigScanRing {
         );
         let start = self.handle.now();
         self.rotate().await;
-        for (c, &v) in self.clients.iter().zip(values) {
-            c.load_config(v);
+        for (i, (c, &v)) in self.clients.iter().zip(values).enumerate() {
+            if self.reaches(i) {
+                c.load_config(v);
+            }
         }
         self.record_rotation("write_all", None, start);
     }
@@ -267,6 +306,50 @@ mod tests {
             (1, 2, 3)
         );
         assert_eq!(ring.rotation_count(), 1);
+    }
+
+    #[test]
+    fn broken_segment_swallows_ops_but_keeps_timing() {
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let a = reg("a", 4);
+        let b = reg("b", 4);
+        b.load_config(0x9);
+        let ring = Rc::new(ConfigScanRing::new(
+            &h,
+            vec![a.clone() as Rc<dyn ConfigClient>, b.clone()],
+            1,
+        ));
+        ring.break_segment(Some(1));
+        let r = Rc::clone(&ring);
+        let jh = sim.spawn(async move {
+            r.write(0, 3).await; // reaches client 0
+            r.write(1, 7).await; // lost
+            let dead = r.read(1).await; // reads back zero
+            r.write_all(&[5, 6]).await; // client 1's share lost
+            dead
+        });
+        // Timing is unchanged: 4 rotations x 8 bits.
+        assert_eq!(sim.run().cycles(), 32);
+        assert_eq!(jh.try_take(), Some(0));
+        assert_eq!(a.read_config(), 5);
+        assert_eq!(b.read_config(), 0x9, "writes past the break are lost");
+        assert_eq!(ring.lost_op_count(), 3);
+        // Repair restores delivery.
+        ring.break_segment(None);
+        b.load_config(0);
+        let mut sim2 = Simulation::new();
+        let ring2 = Rc::new(ConfigScanRing::new(
+            &sim2.handle(),
+            vec![a as Rc<dyn ConfigClient>, b.clone()],
+            1,
+        ));
+        let r2 = Rc::clone(&ring2);
+        sim2.spawn(async move {
+            r2.write(1, 7).await;
+        });
+        sim2.run();
+        assert_eq!(b.read_config(), 7);
     }
 
     #[test]

@@ -161,8 +161,12 @@ pub async fn diagnose_bist(
             .expect("golden accepts");
         dut.write(init, 0, words, bits).await.expect("dut accepts");
         report.patterns_reapplied += 1;
-        let resp_golden = golden.read(init, 0, bits).await.expect("response read");
-        let resp_dut = dut.read(init, 0, bits).await.expect("response read");
+        // Read at the dedicated response address: for scan geometries of
+        // 64 bits per pattern or less, an address-0 read of `bits` would
+        // be served as a signature readout instead.
+        let addr = TestWrapper::RESPONSE_IMAGE_ADDR;
+        let resp_golden = golden.read(init, addr, bits).await.expect("response read");
+        let resp_dut = dut.read(init, addr, bits).await.expect("response read");
         if resp_golden != resp_dut {
             report.first_failing_pattern = Some(window_start + k);
             let len = scan.max_chain_len();

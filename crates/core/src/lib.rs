@@ -55,4 +55,6 @@ pub use schedule::{
     TestSlot,
 };
 pub use source::{AteSource, BistSource, CompressedAteSource, ReadBack};
-pub use wrapper::{ScanPowerProfile, TestWrapper, WrapperConfig, WrapperMode, WrapperStats};
+pub use wrapper::{
+    ScanPowerProfile, StuckWirBit, TestWrapper, WrapperConfig, WrapperMode, WrapperStats,
+};

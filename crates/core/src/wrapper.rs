@@ -126,6 +126,18 @@ struct WrapperRecorder {
     wir: Gauge,
 }
 
+/// A stuck bit in the wrapper instruction register: the WIR flip-flop at
+/// `bit` always captures `value`, whatever the configuration ring shifts
+/// in. Injected via [`TestWrapper::inject_wir_fault`] to model defective
+/// test *infrastructure* (as opposed to a defective core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckWirBit {
+    /// Bit index within the WIR (0-based, low bit first).
+    pub bit: u8,
+    /// The value the flip-flop is stuck at.
+    pub value: bool,
+}
+
 /// Wrapper activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WrapperStats {
@@ -161,6 +173,7 @@ pub struct TestWrapper {
     last_response: RefCell<Option<BitVec>>,
     misr: RefCell<Misr>,
     fault: Cell<Option<StuckCell>>,
+    wir_fault: Cell<Option<StuckWirBit>>,
     stats: Cell<WrapperStats>,
     power: RefCell<Option<PowerSink>>,
     recorder: RefCell<Option<WrapperRecorder>>,
@@ -182,6 +195,12 @@ impl fmt::Debug for TestWrapper {
 }
 
 impl TestWrapper {
+    /// Address that unambiguously requests the last *response image* on a
+    /// test-mode read. Needed for cores whose pattern is 64 bits or
+    /// shorter, where a full-image read is otherwise indistinguishable
+    /// from the 64-bit signature readout at address 0.
+    pub const RESPONSE_IMAGE_ADDR: u32 = 1;
+
     /// Wraps `core`.
     pub fn new(handle: &SimHandle, cfg: WrapperConfig, core: Rc<dyn CoreModel>) -> Self {
         TestWrapper {
@@ -198,6 +217,7 @@ impl TestWrapper {
             // input width is the word width, independent of chain count.
             misr: RefCell::new(Misr::new(64, 32).expect("64-stage MISR")),
             fault: Cell::new(None),
+            wir_fault: Cell::new(None),
             stats: Cell::new(WrapperStats::default()),
             power: RefCell::new(None),
             recorder: RefCell::new(None),
@@ -281,6 +301,16 @@ impl TestWrapper {
     /// *validate* that a test strategy detects defects.
     pub fn inject_fault(&self, fault: Option<StuckCell>) {
         self.fault.set(fault);
+    }
+
+    /// Injects (or clears) a stuck WIR bit. The fault manifests at the
+    /// next [`ConfigClient::load_config`]: the stuck bit overrides the
+    /// shifted-in value, so the wrapper may silently decode a different
+    /// mode (or an invalid one, falling back to functional) than the test
+    /// controller requested. The current mode is not retroactively
+    /// changed — a WIR flip-flop only captures on ring update.
+    pub fn inject_wir_fault(&self, fault: Option<StuckWirBit>) {
+        self.wir_fault.set(fault);
     }
 
     /// Cycles one accepted pattern occupies the scan engine.
@@ -410,14 +440,16 @@ impl TestWrapper {
 
     async fn serve_test_read(&self, txn: &mut Transaction) {
         let bits = self.core.scan_config().bits_per_pattern();
-        if txn.bit_len <= 64 {
-            // Signature / status readout.
-            self.drain().await;
-            let sig = self.misr.borrow().signature();
-            txn.data = vec![sig as u32, (sig >> 32) as u32];
-            txn.status = ResponseStatus::Ok;
-        } else if txn.bit_len == bits {
-            // Full response image readout (deterministic external test).
+        // A read of exactly one pattern image is a response readout. For
+        // cores whose pattern is 64 bits or less that length collides
+        // with the 64-bit signature word, so the response image must be
+        // requested explicitly at [`Self::RESPONSE_IMAGE_ADDR`]; address
+        // 0 keeps the legacy meaning (signature) for short reads.
+        let wants_response =
+            txn.bit_len == bits && (bits > 64 || txn.addr == Self::RESPONSE_IMAGE_ADDR);
+        if wants_response {
+            // Full response image readout (deterministic external test,
+            // diagnosis phase 2).
             self.drain().await;
             if !txn.is_volume_only() {
                 let resp = self.last_response.borrow().clone();
@@ -426,6 +458,12 @@ impl TestWrapper {
                     None => vec![0; (bits as usize).div_ceil(32)],
                 };
             }
+            txn.status = ResponseStatus::Ok;
+        } else if txn.bit_len <= 64 {
+            // Signature / status readout.
+            self.drain().await;
+            let sig = self.misr.borrow().signature();
+            txn.data = vec![sig as u32, (sig >> 32) as u32];
             txn.status = ResponseStatus::Ok;
         } else {
             self.bump(|s| s.rejected += 1);
@@ -511,6 +549,11 @@ impl ConfigClient for TestWrapper {
     }
 
     fn load_config(&self, value: u64) {
+        let value = match self.wir_fault.get() {
+            Some(f) if f.value => value | (1u64 << f.bit),
+            Some(f) => value & !(1u64 << f.bit),
+            None => value,
+        };
         self.wir.set(value);
         if let Some(obs) = &*self.recorder.borrow() {
             obs.wir.set(value as i64);
@@ -535,7 +578,7 @@ mod tests {
     use crate::model::SyntheticLogicCore;
     use tve_sim::Simulation;
     use tve_tlm::{InitiatorId, SinkTarget, TamIfExt};
-    use tve_tpg::ScanConfig;
+    use tve_tpg::{BitVec, ScanConfig};
 
     fn wrapper(sim: &Simulation, chains: u32, len: u32) -> Rc<TestWrapper> {
         let core = Rc::new(SyntheticLogicCore::new(
@@ -573,6 +616,42 @@ mod tests {
         w.load_config(7);
         assert_eq!(w.mode(), WrapperMode::Functional);
         assert_eq!(w.stats().invalid_wir_loads, 1);
+    }
+
+    #[test]
+    fn stuck_wir_bit_overrides_loaded_mode() {
+        let sim = Simulation::new();
+        let w = wrapper(&sim, 2, 8);
+        // Bit 0 stuck at 1: Bist (100) becomes 101 = invalid -> functional
+        // fallback; IntTest (010) becomes 011 = ExtTest.
+        w.inject_wir_fault(Some(StuckWirBit {
+            bit: 0,
+            value: true,
+        }));
+        w.load_config(WrapperMode::Bist.encode());
+        assert_eq!(w.mode(), WrapperMode::Functional);
+        assert_eq!(w.stats().invalid_wir_loads, 1);
+        assert_eq!(w.read_config(), 5, "readback shows the stuck register");
+        w.load_config(WrapperMode::IntTest.encode());
+        assert_eq!(w.mode(), WrapperMode::ExtTest);
+        // Clearing the fault restores normal loads.
+        w.inject_wir_fault(None);
+        w.load_config(WrapperMode::Bist.encode());
+        assert_eq!(w.mode(), WrapperMode::Bist);
+    }
+
+    #[test]
+    fn stuck_zero_wir_bit_masks_requested_mode() {
+        let sim = Simulation::new();
+        let w = wrapper(&sim, 2, 8);
+        // Bit 2 stuck at 0: Bist (100) degrades to functional (000).
+        w.inject_wir_fault(Some(StuckWirBit {
+            bit: 2,
+            value: false,
+        }));
+        w.load_config(WrapperMode::Bist.encode());
+        assert_eq!(w.mode(), WrapperMode::Functional);
+        assert_eq!(w.stats().invalid_wir_loads, 0, "000 decodes fine");
     }
 
     #[test]
@@ -689,6 +768,40 @@ mod tests {
         }));
         assert_ne!(clean, faulty, "stuck cell must corrupt the signature");
         assert_eq!(clean, run(None), "signatures are reproducible");
+    }
+
+    #[test]
+    fn response_image_address_disambiguates_short_patterns() {
+        // 2 chains x 32 cells = exactly 64 bits per pattern: a 64-bit
+        // read at address 0 must stay a signature readout, while the
+        // dedicated response address returns the captured image.
+        let mut sim = Simulation::new();
+        let core = Rc::new(SyntheticLogicCore::new("c", ScanConfig::new(2, 32), 7));
+        let w = Rc::new(TestWrapper::new(
+            &sim.handle(),
+            WrapperConfig::default(),
+            core.clone(),
+        ));
+        w.load_config(WrapperMode::IntTest.encode());
+        let w2 = Rc::clone(&w);
+        let stim = vec![0x1234_5678u32, 0x9ABC_DEF0];
+        let stim2 = stim.clone();
+        let jh = sim.spawn(async move {
+            w2.write(InitiatorId(0), 0, &stim2, 64).await.unwrap();
+            let sig = w2.read(InitiatorId(0), 0, 64).await.unwrap();
+            let img = w2
+                .read(InitiatorId(0), TestWrapper::RESPONSE_IMAGE_ADDR, 64)
+                .await
+                .unwrap();
+            (sig, img)
+        });
+        sim.run();
+        let (sig, img) = jh.try_take().unwrap();
+        let expected = core
+            .scan_response(&BitVec::from_words(stim, 64))
+            .into_words();
+        assert_eq!(img, expected, "address 1 returns the response image");
+        assert_ne!(sig, img, "address 0 stays the signature readout");
     }
 
     #[test]

@@ -127,6 +127,38 @@ pub fn utilization_from_spans<'a>(
     }
 }
 
+/// The earliest end time among spans of `kind` whose name is in `names`,
+/// or `None` if no span matches.
+///
+/// This is the time-to-detection primitive of a fault-injection campaign:
+/// feed it the `Test` spans of a traced schedule run and the names of the
+/// tests whose outcome deviated from the golden run, and it returns the
+/// simulated time at which the first deviating test *completed* — the
+/// earliest moment the tester could have flagged the defect.
+///
+/// ```
+/// use tve_obs::{earliest_span_end, SpanKind, SpanRecord};
+/// use tve_sim::Time;
+///
+/// let spans = [
+///     SpanRecord::new(SpanKind::Test, "tests", "t1", Time::ZERO, Time::from_cycles(80)),
+///     SpanRecord::new(SpanKind::Test, "tests", "t2", Time::ZERO, Time::from_cycles(50)),
+/// ];
+/// let t = earliest_span_end(spans.iter(), SpanKind::Test, &["t2"]);
+/// assert_eq!(t, Some(Time::from_cycles(50)));
+/// ```
+pub fn earliest_span_end<'a>(
+    spans: impl IntoIterator<Item = &'a SpanRecord>,
+    kind: crate::SpanKind,
+    names: &[&str],
+) -> Option<Time> {
+    spans
+        .into_iter()
+        .filter(|s| s.kind == kind && names.iter().any(|n| s.name == *n))
+        .map(|s| s.end)
+        .min()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +200,28 @@ mod tests {
         assert_eq!(at_end.peak(), 1.0);
         let idle_tail = utilization_from_spans(spans.iter(), 100, Time::from_cycles(1000));
         assert!((idle_tail.peak() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn earliest_span_end_filters_kind_and_name() {
+        let mk = |kind, name: &str, end| {
+            SpanRecord::new(kind, "tests", name, Time::ZERO, Time::from_cycles(end))
+        };
+        let spans = [
+            mk(SpanKind::Test, "a", 100),
+            mk(SpanKind::Test, "b", 40),
+            mk(SpanKind::Phase, "b", 10), // wrong kind, ignored
+            mk(SpanKind::Test, "c", 20),  // name not requested
+        ];
+        assert_eq!(
+            earliest_span_end(spans.iter(), SpanKind::Test, &["a", "b"]),
+            Some(Time::from_cycles(40))
+        );
+        assert_eq!(
+            earliest_span_end(spans.iter(), SpanKind::Test, &["z"]),
+            None
+        );
+        assert_eq!(earliest_span_end([].iter(), SpanKind::Test, &["a"]), None);
     }
 
     #[test]

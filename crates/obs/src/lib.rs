@@ -60,7 +60,7 @@ mod metrics;
 mod recorder;
 mod span;
 
-pub use agg::{utilization_from_spans, UtilizationSummary};
+pub use agg::{earliest_span_end, utilization_from_spans, UtilizationSummary};
 pub use chrome::write_chrome_trace;
 pub use csv::{write_metrics_csv, write_spans_csv};
 pub use json::{check_json, JsonError};

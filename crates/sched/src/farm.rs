@@ -19,6 +19,13 @@
 //! The worker count defaults to [`std::thread::available_parallelism`]
 //! and is overridable through the `TVE_JOBS` environment variable (or
 //! explicitly via [`Farm::with_workers`]).
+//!
+//! Beyond schedule exploration, the generic [`Farm::run_map`] entry point
+//! carries the fault-injection campaign (`tve-campaign`): every
+//! (fault × schedule) cell of the detection matrix is an independent
+//! simulation fanned across the pool, and the submission-order result
+//! guarantee is what makes the emitted matrix byte-identical for any
+//! worker count.
 
 use std::fmt;
 use std::num::NonZeroUsize;

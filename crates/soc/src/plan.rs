@@ -428,7 +428,47 @@ pub fn run_scenario(
     plan: &SocTestPlan,
     schedule: &Schedule,
 ) -> Result<ScenarioMetrics, ScheduleError> {
-    run_scenario_impl(config, plan, schedule, None)
+    run_scenario_impl(config, plan, schedule, None, |_| {})
+}
+
+/// [`run_scenario`] with a preparation hook: `prepare` runs on the freshly
+/// built SoC before any test sequence is constructed or executed — the
+/// injection point of a fault campaign (stuck scan cells, memory faults,
+/// WIR faults, broken ring segments).
+///
+/// With a no-op hook this is exactly [`run_scenario`].
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if `schedule` is not well-formed for the
+/// seven-test list.
+pub fn run_scenario_prepared<F: FnOnce(&JpegEncoderSoc)>(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    prepare: F,
+) -> Result<ScenarioMetrics, ScheduleError> {
+    run_scenario_impl(config, plan, schedule, None, prepare)
+}
+
+/// [`run_scenario_prepared`] with observability: the recorder is attached
+/// before `prepare` runs, and the recorded [`TraceLog`] is returned — a
+/// campaign derives time-to-detection from its `Test` spans.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if `schedule` is not well-formed for the
+/// seven-test list.
+pub fn run_scenario_prepared_traced<F: FnOnce(&JpegEncoderSoc)>(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    storage: StoragePolicy,
+    prepare: F,
+) -> Result<(ScenarioMetrics, TraceLog), ScheduleError> {
+    let rec = Rc::new(Recorder::new(storage));
+    let metrics = run_scenario_impl(config, plan, schedule, Some(&rec), prepare)?;
+    Ok((metrics, rec.take_log()))
 }
 
 /// [`run_scenario`] with observability: builds the SoC with a
@@ -452,21 +492,23 @@ pub fn run_scenario_traced(
     storage: StoragePolicy,
 ) -> Result<(ScenarioMetrics, TraceLog), ScheduleError> {
     let rec = Rc::new(Recorder::new(storage));
-    let metrics = run_scenario_impl(config, plan, schedule, Some(&rec))?;
+    let metrics = run_scenario_impl(config, plan, schedule, Some(&rec), |_| {})?;
     Ok((metrics, rec.take_log()))
 }
 
-fn run_scenario_impl(
+fn run_scenario_impl<F: FnOnce(&JpegEncoderSoc)>(
     config: &SocConfig,
     plan: &SocTestPlan,
     schedule: &Schedule,
     recorder: Option<&Rc<Recorder>>,
+    prepare: F,
 ) -> Result<ScenarioMetrics, ScheduleError> {
     let mut sim = Simulation::new();
     let soc = JpegEncoderSoc::build(&sim.handle(), config.clone());
     if let Some(rec) = recorder {
         soc.attach_recorder(rec);
     }
+    prepare(&soc);
     let tests = build_test_runs_traced(&soc, plan, recorder);
     let result = execute_schedule_traced(&mut sim, tests, schedule, recorder)?;
     soc.bus.observe_monitor_until(sim.now());
@@ -603,6 +645,32 @@ mod tests {
             run_scenario_traced(&cfg, &plan, schedule, StoragePolicy::Off).unwrap();
         assert_eq!(off.digest(), plain.digest());
         assert!(off_log.spans.is_empty());
+    }
+
+    #[test]
+    fn prepared_hook_injects_faults_and_noop_matches_plain() {
+        use crate::soc::WrappedCore;
+        use tve_core::StuckCell;
+        let cfg = mini_config();
+        let plan = SocTestPlan::small();
+        let schedule = &paper_schedules()[0];
+        let plain = run_scenario(&cfg, &plan, schedule).unwrap();
+        let noop = run_scenario_prepared(&cfg, &plan, schedule, |_| {}).unwrap();
+        assert_eq!(plain.digest(), noop.digest(), "no-op hook must be inert");
+        let faulty = run_scenario_prepared(&cfg, &plan, schedule, |soc| {
+            soc.wrapper_of(WrappedCore::Processor)
+                .inject_fault(Some(StuckCell {
+                    chain: 0,
+                    position: 3,
+                    value: true,
+                }));
+        })
+        .unwrap();
+        assert_ne!(
+            plain.digest(),
+            faulty.digest(),
+            "stuck cell must move the digest"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use tve_core::{
 use tve_obs::Recorder;
 use tve_sim::{Duration, SimHandle};
 use tve_tlm::{
-    AddrRange, ArbiterPolicy, BusConfig, BusTam, InitiatorId, PowerMeter, SinkTarget, TamIf,
+    AddrRange, ArbiterPolicy, BusConfig, BusTam, FaultyTam, FaultyTamPolicy, InitiatorId,
+    PowerMeter, SinkTarget, TamIf,
 };
 use tve_tpg::{Compressor, ReseedingCodec, ScanConfig};
 
@@ -140,6 +141,11 @@ pub struct SocConfig {
     /// Bus burst segmentation; see
     /// [`BusConfig::max_burst_bits`](tve_tlm::BusConfig).
     pub max_burst_bits: Option<u64>,
+    /// Fault injection: when set, a [`FaultyTam`] adaptor with this policy
+    /// is interposed between the EBI and the system bus, corrupting or
+    /// dropping ATE-path transactions. `None` (the default) builds a
+    /// healthy TAM.
+    pub tam_fault: Option<FaultyTamPolicy>,
 }
 
 impl SocConfig {
@@ -167,6 +173,7 @@ impl SocConfig {
             policy: DataPolicy::Volume,
             power: None,
             max_burst_bits: None,
+            tam_fault: None,
         }
     }
 
@@ -180,6 +187,62 @@ impl SocConfig {
             memory_words: 256,
             policy: DataPolicy::Full,
             ..SocConfig::paper()
+        }
+    }
+}
+
+/// The four wrapped cores of the case study, in configuration-ring order.
+///
+/// Used by fault-injection campaigns to name a scan-cell injection site
+/// and to rebuild the matching standalone scan view (see [`scan_view`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WrappedCore {
+    /// The full-scan processor core (ring index [`RING_PROC`]).
+    Processor,
+    /// The color conversion core (ring index [`RING_COLOR`]).
+    ColorConversion,
+    /// The DCT core (ring index [`RING_DCT`]).
+    Dct,
+    /// The memory periphery logic (ring index [`RING_MEM`]).
+    MemoryPeriphery,
+}
+
+impl WrappedCore {
+    /// All four wrapped cores, in ring order.
+    pub const ALL: [WrappedCore; 4] = [
+        WrappedCore::Processor,
+        WrappedCore::ColorConversion,
+        WrappedCore::Dct,
+        WrappedCore::MemoryPeriphery,
+    ];
+
+    /// A short stable label (used in campaign fault ids and CSV rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            WrappedCore::Processor => "proc",
+            WrappedCore::ColorConversion => "color",
+            WrappedCore::Dct => "dct",
+            WrappedCore::MemoryPeriphery => "mem",
+        }
+    }
+}
+
+/// The synthetic scan view of `core` under `config` — the same name, scan
+/// geometry and response seed [`JpegEncoderSoc::build`] wraps, as a
+/// standalone core model.
+///
+/// This is the single source of truth for the per-core seeds: a diagnosis
+/// cross-check can rebuild a golden/faulty wrapper pair for any core and
+/// compare signatures against the full-SoC run.
+pub fn scan_view(config: &SocConfig, core: WrappedCore) -> SyntheticLogicCore {
+    match core {
+        WrappedCore::Processor => SyntheticLogicCore::new("processor", config.proc_scan, 0x50C0),
+        WrappedCore::ColorConversion => {
+            SyntheticLogicCore::new("color-conv", config.color_scan, 0xC010)
+        }
+        WrappedCore::Dct => SyntheticLogicCore::new("dct", config.dct_scan, 0xDC70),
+        WrappedCore::MemoryPeriphery => {
+            SyntheticLogicCore::new("memory-periphery", ScanConfig::new(2, 64), 0x3E30)
         }
     }
 }
@@ -214,6 +277,9 @@ pub struct JpegEncoderSoc {
     pub reseeding: Option<Rc<ReseedingCodec>>,
     /// The external bus interface to the ATE.
     pub ebi: Rc<Ebi>,
+    /// The fault-injecting TAM adaptor between EBI and bus, present when
+    /// [`SocConfig::tam_fault`] is set.
+    pub tam_adaptor: Option<Rc<FaultyTam>>,
     /// The configuration scan ring.
     pub ring: Rc<ConfigScanRing>,
     /// The on-chip test controller (drives test 6).
@@ -264,37 +330,25 @@ impl JpegEncoderSoc {
         let proc_wrapper = Rc::new(TestWrapper::new(
             handle,
             wrapper_cfg("proc-wrapper"),
-            Rc::new(SyntheticLogicCore::new(
-                "processor",
-                config.proc_scan,
-                0x50C0,
-            )),
+            Rc::new(scan_view(&config, WrappedCore::Processor)),
         ));
         proc_wrapper.bind_functional(Rc::new(SinkTarget::new("proc-func")));
         let color_wrapper = Rc::new(TestWrapper::new(
             handle,
             wrapper_cfg("color-wrapper"),
-            Rc::new(SyntheticLogicCore::new(
-                "color-conv",
-                config.color_scan,
-                0xC010,
-            )),
+            Rc::new(scan_view(&config, WrappedCore::ColorConversion)),
         ));
         color_wrapper.bind_functional(Rc::clone(&color_core) as Rc<dyn TamIf>);
         let dct_wrapper = Rc::new(TestWrapper::new(
             handle,
             wrapper_cfg("dct-wrapper"),
-            Rc::new(SyntheticLogicCore::new("dct", config.dct_scan, 0xDC70)),
+            Rc::new(scan_view(&config, WrappedCore::Dct)),
         ));
         dct_wrapper.bind_functional(Rc::clone(&dct_core) as Rc<dyn TamIf>);
         let mem_wrapper = Rc::new(TestWrapper::new(
             handle,
             wrapper_cfg("mem-wrapper"),
-            Rc::new(SyntheticLogicCore::new(
-                "memory-periphery",
-                ScanConfig::new(2, 64),
-                0x3E30,
-            )),
+            Rc::new(scan_view(&config, WrappedCore::MemoryPeriphery)),
         ));
         mem_wrapper.bind_functional(Rc::clone(&memory) as Rc<dyn TamIf>);
 
@@ -345,11 +399,24 @@ impl JpegEncoderSoc {
             Rc::clone(&codec) as Rc<dyn TamIf>,
         );
 
-        // EBI in front of the bus, rate-limited by the ATE channels.
+        // EBI in front of the bus, rate-limited by the ATE channels. A
+        // configured TAM fault interposes the corrupting adaptor here, so
+        // every ATE-path transaction crosses the defective channel.
+        let tam_adaptor = config.tam_fault.map(|policy| {
+            Rc::new(FaultyTam::new(
+                "faulty-tam",
+                Rc::clone(&bus) as Rc<dyn TamIf>,
+                policy,
+            ))
+        });
+        let ebi_downstream = match &tam_adaptor {
+            Some(f) => Rc::clone(f) as Rc<dyn TamIf>,
+            None => Rc::clone(&bus) as Rc<dyn TamIf>,
+        };
         let ebi = Rc::new(Ebi::new(
             handle,
             "ebi",
-            Rc::clone(&bus) as Rc<dyn TamIf>,
+            ebi_downstream,
             config.ate_down_rate,
             config.ate_up_rate,
         ));
@@ -415,6 +482,7 @@ impl JpegEncoderSoc {
             codec,
             reseeding,
             ebi,
+            tam_adaptor,
             ring,
             controller,
             processor,
@@ -460,6 +528,17 @@ impl JpegEncoderSoc {
     /// The initiator id used by the embedded processor in functional mode.
     pub fn processor_initiator(&self) -> InitiatorId {
         initiators::PROCESSOR
+    }
+
+    /// The test wrapper of `core` — the injection point for scan-cell and
+    /// WIR faults in a campaign.
+    pub fn wrapper_of(&self, core: WrappedCore) -> &Rc<TestWrapper> {
+        match core {
+            WrappedCore::Processor => &self.proc_wrapper,
+            WrappedCore::ColorConversion => &self.color_wrapper,
+            WrappedCore::Dct => &self.dct_wrapper,
+            WrappedCore::MemoryPeriphery => &self.mem_wrapper,
+        }
     }
 }
 
@@ -516,6 +595,45 @@ mod tests {
         });
         sim.run();
         assert_eq!(jh.try_take(), Some((true, true)));
+    }
+
+    #[test]
+    fn tam_fault_config_interposes_the_adaptor() {
+        let mut sim = Simulation::new();
+        let cfg = SocConfig {
+            tam_fault: Some(FaultyTamPolicy::drop(1, 1)),
+            ..SocConfig::small()
+        };
+        let soc = JpegEncoderSoc::build(&sim.handle(), cfg);
+        let adaptor = soc.tam_adaptor.clone().expect("adaptor present");
+        let ebi = Rc::clone(&soc.ebi);
+        let ring = Rc::clone(&soc.ring);
+        let jh = sim.spawn(async move {
+            ring.write(RING_EBI, 1).await;
+            ebi.read(initiators::ATE, MEM_BASE, 32).await.is_err()
+        });
+        sim.run();
+        assert_eq!(jh.try_take(), Some(true), "every transaction is dropped");
+        assert!(adaptor.dropped() >= 1);
+        // Healthy config: no adaptor.
+        let sim2 = Simulation::new();
+        let healthy = JpegEncoderSoc::build(&sim2.handle(), SocConfig::small());
+        assert!(healthy.tam_adaptor.is_none());
+    }
+
+    #[test]
+    fn scan_view_matches_built_wrappers() {
+        let sim = Simulation::new();
+        let cfg = SocConfig::small();
+        let soc = JpegEncoderSoc::build(&sim.handle(), cfg.clone());
+        for core in WrappedCore::ALL {
+            let view = scan_view(&cfg, core);
+            assert_eq!(
+                soc.wrapper_of(core).scan_config(),
+                tve_core::CoreModel::scan_config(&view),
+                "{core:?}"
+            );
+        }
     }
 
     #[test]

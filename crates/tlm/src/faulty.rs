@@ -1,0 +1,331 @@
+//! A fault-injecting TAM channel adaptor.
+//!
+//! [`FaultyTam`] wraps any downstream [`TamIf`] and perturbs the
+//! transaction stream according to a seeded, deterministic policy: every
+//! N-th transaction gets one payload bit flipped, and/or every M-th
+//! transaction is dropped (reported as a target error without ever
+//! reaching the downstream component). This models defective TAM wiring
+//! and flaky channel electronics at the transaction level, so a
+//! fault-injection campaign can ask whether a test schedule *notices*
+//! a corrupted transport — not just corrupted cores.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::payload::{Command, ResponseStatus, Transaction};
+use crate::transport::{LocalBoxFuture, TamIf};
+
+/// Seeded corruption policy for a [`FaultyTam`].
+///
+/// Plain copyable data so it can travel inside configuration structs that
+/// are cloned into parallel validation-farm workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyTamPolicy {
+    /// Seed for the bit-position PRNG (any value; internally or-ed with 1).
+    pub seed: u64,
+    /// Flip one payload bit in every `corrupt_every`-th transaction
+    /// (0 disables corruption).
+    pub corrupt_every: u32,
+    /// Drop every `drop_every`-th transaction: it is answered with
+    /// [`ResponseStatus::TargetError`] and never forwarded (0 disables
+    /// dropping).
+    pub drop_every: u32,
+}
+
+impl FaultyTamPolicy {
+    /// A policy that corrupts one bit in every `n`-th transaction.
+    pub fn corrupt(seed: u64, n: u32) -> Self {
+        FaultyTamPolicy {
+            seed,
+            corrupt_every: n,
+            drop_every: 0,
+        }
+    }
+
+    /// A policy that drops every `n`-th transaction.
+    pub fn drop(seed: u64, n: u32) -> Self {
+        FaultyTamPolicy {
+            seed,
+            corrupt_every: 0,
+            drop_every: n,
+        }
+    }
+}
+
+/// A TAM channel adaptor that injects transport faults per a
+/// [`FaultyTamPolicy`] before delegating to the wrapped channel.
+///
+/// Interpose it between an initiator and the real channel (e.g. between the
+/// EBI and the system bus) at construction time; counters record how many
+/// transactions were seen, corrupted and dropped so a campaign can verify
+/// the fault was actually exercised.
+pub struct FaultyTam {
+    name: String,
+    inner: Rc<dyn TamIf>,
+    policy: FaultyTamPolicy,
+    rng: Cell<u64>,
+    seen: Cell<u64>,
+    corrupted: Cell<u64>,
+    dropped: Cell<u64>,
+}
+
+impl FaultyTam {
+    /// Wraps `inner` with the fault `policy`.
+    pub fn new(name: impl Into<String>, inner: Rc<dyn TamIf>, policy: FaultyTamPolicy) -> Self {
+        FaultyTam {
+            name: name.into(),
+            inner,
+            policy,
+            rng: Cell::new(policy.seed | 1),
+            seen: Cell::new(0),
+            corrupted: Cell::new(0),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Transactions that entered the adaptor.
+    pub fn seen(&self) -> u64 {
+        self.seen.get()
+    }
+
+    /// Transactions that had a payload bit flipped.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.get()
+    }
+
+    /// Transactions dropped (answered with a target error, not forwarded).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FaultyTamPolicy {
+        self.policy
+    }
+
+    fn next_rand(&self) -> u64 {
+        // xorshift64: cheap, deterministic, never zero for a nonzero seed.
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
+
+    /// Flips one seeded bit of `txn.data`, restricted to the meaningful
+    /// `bit_len` bits. Volume-only payloads carry no bits to flip.
+    fn flip_one_bit(&self, txn: &mut Transaction) -> bool {
+        if txn.data.is_empty() || txn.bit_len == 0 {
+            return false;
+        }
+        let limit = txn.bit_len.min(txn.data.len() as u64 * 32);
+        let bit = self.next_rand() % limit;
+        txn.data[(bit / 32) as usize] ^= 1 << (bit % 32);
+        true
+    }
+}
+
+impl TamIf for FaultyTam {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()> {
+        Box::pin(async move {
+            let n = self.seen.get() + 1;
+            self.seen.set(n);
+
+            let p = self.policy;
+            if p.drop_every > 0 && n.is_multiple_of(u64::from(p.drop_every)) {
+                self.dropped.set(self.dropped.get() + 1);
+                txn.status = ResponseStatus::TargetError;
+                return;
+            }
+
+            let corrupt = p.corrupt_every > 0 && n.is_multiple_of(u64::from(p.corrupt_every));
+            // Outbound payloads are corrupted before the wire, inbound
+            // (read) payloads after it — both model a defective channel,
+            // not a defective endpoint.
+            if corrupt
+                && matches!(txn.cmd, Command::Write | Command::WriteRead)
+                && self.flip_one_bit(txn)
+            {
+                self.corrupted.set(self.corrupted.get() + 1);
+            }
+            self.inner.transport(txn).await;
+            if corrupt
+                && matches!(txn.cmd, Command::Read | Command::WriteRead)
+                && self.flip_one_bit(txn)
+            {
+                self.corrupted.set(self.corrupted.get() + 1);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::InitiatorId;
+    use crate::transport::TamIfExt;
+    use std::cell::RefCell;
+    use tve_sim::Simulation;
+
+    /// Echo target: stores writes, returns the store on reads.
+    struct Echo {
+        store: RefCell<Vec<u32>>,
+        delivered: Cell<u64>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                store: RefCell::new(Vec::new()),
+                delivered: Cell::new(0),
+            }
+        }
+    }
+
+    impl TamIf for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()> {
+            Box::pin(async move {
+                self.delivered.set(self.delivered.get() + 1);
+                match txn.cmd {
+                    Command::Write => *self.store.borrow_mut() = txn.data.clone(),
+                    Command::Read => txn.data = self.store.borrow().clone(),
+                    Command::WriteRead => {
+                        let old = self.store.replace(txn.data.clone());
+                        txn.data = old;
+                    }
+                }
+                txn.status = ResponseStatus::Ok;
+            })
+        }
+    }
+
+    fn run_writes(policy: FaultyTamPolicy, payloads: Vec<Vec<u32>>) -> (Vec<Vec<u32>>, u64, u64) {
+        let mut sim = Simulation::new();
+        let echo = Rc::new(Echo::new());
+        let faulty = Rc::new(FaultyTam::new(
+            "faulty",
+            Rc::clone(&echo) as Rc<dyn TamIf>,
+            policy,
+        ));
+        let f = Rc::clone(&faulty);
+        let jh = sim.spawn(async move {
+            let mut out = Vec::new();
+            for p in payloads {
+                let bits = p.len() as u64 * 32;
+                match f.write(InitiatorId(0), 0, &p, bits).await {
+                    Ok(()) => out.push(f.read(InitiatorId(0), 0, bits).await.unwrap()),
+                    Err(_) => out.push(Vec::new()),
+                }
+            }
+            out
+        });
+        sim.run();
+        let out = jh.try_take().expect("writer finished");
+        (out, faulty.corrupted(), faulty.dropped())
+    }
+
+    #[test]
+    fn zero_policy_is_a_pure_passthrough() {
+        let policy = FaultyTamPolicy {
+            seed: 1,
+            corrupt_every: 0,
+            drop_every: 0,
+        };
+        let payloads = vec![vec![0xDEAD_BEEF], vec![0x1234_5678, 0x9ABC_DEF0]];
+        let (out, corrupted, dropped) = run_writes(policy, payloads.clone());
+        assert_eq!(out, payloads);
+        assert_eq!(corrupted, 0);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit_deterministically() {
+        fn stored_after_write(seed: u64) -> Vec<u32> {
+            let mut sim = Simulation::new();
+            let echo = Rc::new(Echo::new());
+            let faulty = Rc::new(FaultyTam::new(
+                "faulty",
+                Rc::clone(&echo) as Rc<dyn TamIf>,
+                FaultyTamPolicy::corrupt(seed, 1),
+            ));
+            let f = Rc::clone(&faulty);
+            sim.spawn(async move {
+                f.write(InitiatorId(0), 0, &[0, 0, 0], 96).await.unwrap();
+            });
+            sim.run();
+            assert_eq!(faulty.corrupted(), 1);
+            let stored = echo.store.borrow().clone();
+            stored
+        }
+        let a = stored_after_write(42);
+        // Same seed, same flip.
+        assert_eq!(a, stored_after_write(42));
+        let ones: u32 = a.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped: {a:?}");
+        // A different seed picks a different bit (for this pair at least;
+        // note seeds are or-ed with 1, so 42 and 43 would collide).
+        assert_ne!(a, stored_after_write(44));
+    }
+
+    #[test]
+    fn corrupt_every_n_counts_transactions() {
+        // 6 writes + 6 reads = 12 transactions; every 4th is corrupted.
+        let policy = FaultyTamPolicy::corrupt(7, 4);
+        let payloads: Vec<Vec<u32>> = (0..6).map(|_| vec![0u32]).collect();
+        let (_, corrupted, _) = run_writes(policy, payloads);
+        assert_eq!(corrupted, 3);
+    }
+
+    #[test]
+    fn dropped_transactions_report_target_error_and_never_arrive() {
+        let mut sim = Simulation::new();
+        let echo = Rc::new(Echo::new());
+        let faulty = Rc::new(FaultyTam::new(
+            "faulty",
+            Rc::clone(&echo) as Rc<dyn TamIf>,
+            FaultyTamPolicy::drop(3, 2),
+        ));
+        let f = Rc::clone(&faulty);
+        let jh = sim.spawn(async move {
+            let mut errors = 0;
+            for _ in 0..6 {
+                if f.write(InitiatorId(0), 0, &[5], 32).await.is_err() {
+                    errors += 1;
+                }
+            }
+            errors
+        });
+        sim.run();
+        assert_eq!(jh.try_take(), Some(3));
+        assert_eq!(faulty.dropped(), 3);
+        assert_eq!(echo.delivered.get(), 3, "dropped writes must not arrive");
+    }
+
+    #[test]
+    fn volume_only_transactions_pass_through_unharmed() {
+        let mut sim = Simulation::new();
+        let echo = Rc::new(Echo::new());
+        let faulty = Rc::new(FaultyTam::new(
+            "faulty",
+            Rc::clone(&echo) as Rc<dyn TamIf>,
+            FaultyTamPolicy::corrupt(9, 1),
+        ));
+        let f = Rc::clone(&faulty);
+        sim.spawn(async move {
+            f.transfer_volume(InitiatorId(0), Command::Write, 0, 10_000)
+                .await
+                .unwrap();
+        });
+        sim.run();
+        assert_eq!(faulty.seen(), 1);
+        assert_eq!(faulty.corrupted(), 0, "no payload bits to flip");
+    }
+}

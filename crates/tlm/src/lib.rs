@@ -33,6 +33,7 @@
 
 mod arbiter;
 mod bus;
+mod faulty;
 mod monitor;
 mod payload;
 mod power;
@@ -42,6 +43,7 @@ mod transport;
 
 pub use arbiter::{Arbiter, ArbiterPolicy};
 pub use bus::{AddrRange, BindError, BusConfig, BusTam, SinkTarget};
+pub use faulty::{FaultyTam, FaultyTamPolicy};
 pub use monitor::UtilizationMonitor;
 pub use payload::{Command, InitiatorId, ResponseStatus, Transaction};
 pub use power::PowerMeter;

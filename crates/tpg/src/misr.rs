@@ -202,6 +202,39 @@ mod tests {
     }
 
     #[test]
+    fn weight_one_bursts_never_alias() {
+        // Aliasing needs an error polynomial divisible by the feedback
+        // polynomial; a weight-1 burst (one flipped response bit anywhere
+        // in the stream) injects a single 1 into the register, and the
+        // Galois step is an invertible linear map, so the error state can
+        // never decay to zero — no geometry, stream length, slice or bit
+        // position may alias. This is the guarantee the fault campaign's
+        // stuck-cell detection ultimately rests on: a stuck cell whose
+        // capture differs in exactly one bit must corrupt the signature.
+        for (degree, inputs) in [(64u32, 32u32), (32, 32), (16, 8)] {
+            for stream_len in [1u64, 7, 64] {
+                for err_slice in [0, stream_len / 2, stream_len - 1] {
+                    for bit in [0, inputs / 2, inputs - 1] {
+                        let mut good = Misr::new(degree, inputs).unwrap();
+                        let mut bad = Misr::new(degree, inputs).unwrap();
+                        for i in 0..stream_len {
+                            let w = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                            good.absorb(w);
+                            bad.absorb(if i == err_slice { w ^ (1 << bit) } else { w });
+                        }
+                        assert_ne!(
+                            good.signature(),
+                            bad.signature(),
+                            "MISR({degree},{inputs}) aliased a weight-1 burst at \
+                             slice {err_slice} bit {bit} of {stream_len} slices"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn invalid_configs_error() {
         assert!(Misr::new(16, 0).is_err());
         assert!(Misr::new(16, 17).is_err());

@@ -18,11 +18,14 @@
 //! * [`core`] — the paper's contribution: TLMs of test infrastructure
 //!   (wrappers, TAMs, pattern sources, codecs, test controller, ATE),
 //! * [`soc`] — the JPEG encoder SoC case study of Section IV,
-//! * [`sched`] — test scheduling and design-space exploration.
+//! * [`sched`] — test scheduling and design-space exploration,
+//! * [`campaign`] — systematic fault-injection campaigns validating
+//!   every schedule against a fault population.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
 
+pub use tve_campaign as campaign;
 pub use tve_core as core;
 pub use tve_memtest as memtest;
 pub use tve_netlist as netlist;

@@ -4,12 +4,20 @@
 use proptest::prelude::*;
 use std::rc::Rc;
 
+use tve::core::{
+    diagnose_bist, ConfigClient, CoreModel, FailingCell, ScheduleResult, StuckCell,
+    SyntheticLogicCore, TestOutcome, TestWrapper, WrapperConfig, WrapperMode,
+};
 use tve::memtest::{MarchTest, MemoryArray};
 use tve::sim::{Duration, Simulation, Time};
+use tve::soc::{scan_view, ScenarioMetrics, SocConfig, WrappedCore};
 use tve::tlm::{
-    AddrRange, BusConfig, BusTam, Command, InitiatorId, SinkTarget, TamIfExt, UtilizationMonitor,
+    AddrRange, BusConfig, BusTam, Command, InitiatorId, SerialTam, SinkTarget, TamIf, TamIfExt,
+    UtilizationMonitor,
 };
-use tve::tpg::{BitVec, Compressor, Lfsr, ReseedingCodec, RunLengthCodec, ScanConfig, TestCube};
+use tve::tpg::{
+    BitVec, Compressor, Lfsr, Prpg, ReseedingCodec, RunLengthCodec, ScanConfig, TestCube,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -240,5 +248,165 @@ proptest! {
         for &(who, busy) in &u.per_initiator {
             prop_assert_eq!(busy, monitor.busy_cycles_of(InitiatorId(who)));
         }
+    }
+}
+
+// Diagnosis round-trip: for ANY stuck cell injected into ANY of the four
+// wrapped cores, BIST diagnosis must locate exactly the injected
+// (chain, position), and two runs over the same part must produce the
+// identical report (first_failing_pattern included) — the reproducibility
+// the paper's debug/diagnosis strategy rests on. Each run is a full
+// two-wrapper simulation, so the case count is kept moderate.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn diagnosis_locates_any_injected_cell_reproducibly(
+        core_idx in 0usize..4,
+        chain_r in any::<u32>(),
+        pos_r in any::<u32>(),
+        value in any::<bool>(),
+        bist_seed in any::<u64>(),
+    ) {
+        let core = WrappedCore::ALL[core_idx];
+        let cfg = SocConfig::small();
+        let model = Rc::new(scan_view(&cfg, core));
+        let scan = model.scan_config();
+        let cell = StuckCell {
+            chain: chain_r % scan.chains(),
+            position: pos_r % scan.max_chain_len(),
+            value,
+        };
+        let run = || {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let mk = |name: &str| {
+                Rc::new(TestWrapper::new(
+                    &h,
+                    WrapperConfig { name: name.into(), ..WrapperConfig::default() },
+                    Rc::clone(&model) as Rc<dyn CoreModel>,
+                ))
+            };
+            let golden = mk("g");
+            let dut = mk("d");
+            dut.inject_fault(Some(cell));
+            let h2 = h.clone();
+            let jh = sim.spawn(async move {
+                diagnose_bist(&h2, &golden, &dut, scan, bist_seed, 96, 16).await
+            });
+            sim.run();
+            jh.try_take().expect("diagnosis completes")
+        };
+        let first = run();
+        let second = run();
+        prop_assert_eq!(&first, &second, "diagnosis must be reproducible");
+        prop_assert!(first.first_failing_pattern.is_some(), "defect unobserved for {}", cell);
+        prop_assert_eq!(
+            first.failing_cells,
+            vec![FailingCell { chain: cell.chain, position: cell.position }],
+            "diagnosis must name exactly the injected cell ({})",
+            cell
+        );
+    }
+}
+
+// Serial-vs-bus TAM differential: the TAM choice trades wires against
+// cycles but must never change the test DATA. The same wrapped core,
+// driven with the same patterns through a serial daisy chain and through
+// the shared bus, must return byte-identical response images and
+// signatures — and hence identical timing-normalized scenario digests —
+// while the serial chain pays measurably more cycles.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn serial_and_bus_tams_move_identical_test_data(
+        chains in 3u32..6,
+        len in 24u32..48,
+        core_seed in any::<u64>(),
+        prpg_seed in any::<u64>(),
+        patterns in 1u64..5,
+        overhead in 1u64..16,
+        bypass in 1u32..24,
+    ) {
+        // chains * len >= 72 > 64 bits per pattern, so a full-length read
+        // is unambiguously a response-image readout on either TAM.
+        let scan = ScanConfig::new(chains, len);
+        let bits = scan.bits_per_pattern();
+        let stims: Vec<Vec<u32>> = {
+            let mut prpg = Prpg::new(32, prpg_seed | 1, scan).unwrap();
+            (0..patterns)
+                .map(|_| prpg.next_pattern().stimulus().words().to_vec())
+                .collect()
+        };
+        let run = |serial: bool| {
+            let mut sim = Simulation::new();
+            let h = sim.handle();
+            let model = Rc::new(SyntheticLogicCore::new("c", scan, core_seed));
+            let w = Rc::new(TestWrapper::new(&h, WrapperConfig::default(), model));
+            w.load_config(WrapperMode::IntTest.encode());
+            let chan: Rc<dyn TamIf> = if serial {
+                let s = SerialTam::new(&h, "chain", overhead);
+                s.bind(AddrRange::new(0, 0x10), 1, Rc::clone(&w) as Rc<dyn TamIf>)
+                    .unwrap();
+                s.bind(AddrRange::new(0x10, 0x10), bypass, Rc::new(SinkTarget::new("other")))
+                    .unwrap();
+                Rc::new(s)
+            } else {
+                let b = BusTam::new(&h, BusConfig::default());
+                b.bind(AddrRange::new(0, 0x10), Rc::clone(&w) as Rc<dyn TamIf>)
+                    .unwrap();
+                b.bind(AddrRange::new(0x10, 0x10), Rc::new(SinkTarget::new("other")))
+                    .unwrap();
+                Rc::new(b)
+            };
+            let stims = stims.clone();
+            let jh = sim.spawn(async move {
+                let mut resps = Vec::new();
+                for stim in &stims {
+                    chan.write(InitiatorId(0), 0, stim, bits).await.unwrap();
+                    resps.push(chan.read(InitiatorId(0), 0, bits).await.unwrap());
+                }
+                let sig = chan.read(InitiatorId(0), 0, 64).await.unwrap();
+                (resps, sig)
+            });
+            let end = sim.run().cycles();
+            let (resps, sig) = jh.try_take().expect("drive loop completes");
+            (resps, sig, end)
+        };
+        let (bus_resps, bus_sig, bus_end) = run(false);
+        let (ser_resps, ser_sig, ser_end) = run(true);
+        prop_assert_eq!(&bus_resps, &ser_resps, "response images must not depend on the TAM");
+        prop_assert_eq!(&bus_sig, &ser_sig, "signatures must not depend on the TAM");
+        prop_assert!(
+            ser_end > bus_end,
+            "one-bit-per-cycle chain ({ser_end}) must be slower than the bus ({bus_end})"
+        );
+
+        // Timing-normalized scenario digests agree: the digest sees only
+        // data, so equal data means equal digests whichever TAM moved it.
+        let digest_of = |resps: &[Vec<u32>], sig: &[u32]| {
+            let mut outcome = TestOutcome::begin("differential", Time::ZERO);
+            outcome.patterns = patterns;
+            outcome.stimulus_bits = patterns * bits;
+            outcome.response_bits = resps.iter().map(|r| r.len() as u64 * 32).sum();
+            outcome.signature = Some((sig[0] as u64) | ((sig[1] as u64) << 32));
+            ScenarioMetrics {
+                schedule: "tam-differential".into(),
+                peak_utilization: 0.0,
+                avg_utilization: 0.0,
+                total_cycles: 0,
+                cpu: std::time::Duration::ZERO,
+                power: None,
+                result: ScheduleResult {
+                    schedule: "tam-differential".into(),
+                    total_cycles: 0,
+                    slots: vec![tve::core::TestSlot { phase: 0, outcome }],
+                    wall: std::time::Duration::ZERO,
+                },
+            }
+            .digest()
+        };
+        prop_assert_eq!(digest_of(&bus_resps, &bus_sig), digest_of(&ser_resps, &ser_sig));
     }
 }

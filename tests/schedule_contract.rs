@@ -1,0 +1,124 @@
+//! The negative-path contract of schedule construction and execution:
+//! which malformed inputs produce which `ScheduleError`, and that the
+//! error path is total — no partial execution, and the same contract at
+//! every API layer (`Schedule::validate`, `execute_schedule`,
+//! `run_scenario`).
+
+use tve::core::{execute_schedule, Schedule, ScheduleError, TestOutcome, TestRun};
+use tve::sim::{Duration, SimHandle, Simulation};
+use tve::soc::{run_scenario, SocConfig, SocTestPlan};
+
+fn dummy_test(h: &SimHandle, name: &str, cycles: u64) -> TestRun {
+    let h = h.clone();
+    let name_owned = name.to_string();
+    TestRun::new(name, async move {
+        let mut out = TestOutcome::begin(name_owned, h.now());
+        h.wait(Duration::cycles(cycles)).await;
+        out.end = h.now();
+        out
+    })
+}
+
+fn two_tests(sim: &Simulation) -> Vec<TestRun> {
+    let h = sim.handle();
+    vec![dummy_test(&h, "a", 10), dummy_test(&h, "b", 10)]
+}
+
+#[test]
+fn construction_is_infallible_validation_is_not() {
+    // Schedule::new accepts any shape — well-formedness is a property of
+    // (schedule, test list) pairs and is checked at execution time.
+    let bogus = Schedule::new("bogus", vec![vec![42, 42], vec![]]);
+    assert_eq!(bogus.name, "bogus");
+    assert_eq!(bogus.phases.len(), 2);
+    assert_eq!(bogus.validate(1), Err(ScheduleError::IndexOutOfRange(42)));
+}
+
+#[test]
+fn empty_schedule_is_rejected() {
+    let mut sim = Simulation::new();
+    let tests = two_tests(&sim);
+    let err = execute_schedule(&mut sim, tests, &Schedule::new("none", vec![])).unwrap_err();
+    assert_eq!(err, ScheduleError::Empty);
+    assert_eq!(err.to_string(), "schedule has no phases");
+}
+
+#[test]
+fn empty_phase_is_rejected() {
+    let mut sim = Simulation::new();
+    let tests = two_tests(&sim);
+    let sched = Schedule::new("hole", vec![vec![0], vec![], vec![1]]);
+    let err = execute_schedule(&mut sim, tests, &sched).unwrap_err();
+    assert_eq!(err, ScheduleError::EmptyPhase);
+    assert_eq!(err.to_string(), "schedule contains an empty phase");
+}
+
+#[test]
+fn out_of_range_index_is_rejected_and_nothing_runs() {
+    let mut sim = Simulation::new();
+    let tests = two_tests(&sim);
+    let sched = Schedule::new("oob", vec![vec![0], vec![7]]);
+    let err = execute_schedule(&mut sim, tests, &sched).unwrap_err();
+    assert_eq!(err, ScheduleError::IndexOutOfRange(7));
+    assert_eq!(err.to_string(), "test index 7 out of range");
+    // Validation precedes execution: the kernel never advanced, so even
+    // the in-range test 0 was not started.
+    assert_eq!(sim.run().cycles(), 0, "no test was launched");
+}
+
+#[test]
+fn duplicate_test_is_rejected_across_phases_and_within_a_phase() {
+    let mut sim = Simulation::new();
+    let tests = two_tests(&sim);
+    let sched = Schedule::new("dup", vec![vec![0], vec![1, 0]]);
+    let err = execute_schedule(&mut sim, tests, &sched).unwrap_err();
+    assert_eq!(err, ScheduleError::DuplicateTest(0));
+    assert_eq!(err.to_string(), "test 0 scheduled twice");
+
+    let mut sim = Simulation::new();
+    let tests = two_tests(&sim);
+    let sched = Schedule::new("dup2", vec![vec![1, 1]]);
+    let err = execute_schedule(&mut sim, tests, &sched).unwrap_err();
+    assert_eq!(err, ScheduleError::DuplicateTest(1));
+}
+
+#[test]
+fn first_violation_in_phase_order_wins() {
+    // Validation walks phases in order: an empty phase ahead of an
+    // out-of-range index is the reported error, and vice versa.
+    let s = Schedule::new("x", vec![vec![], vec![9]]);
+    assert_eq!(s.validate(2), Err(ScheduleError::EmptyPhase));
+    let s = Schedule::new("y", vec![vec![9], vec![]]);
+    assert_eq!(s.validate(2), Err(ScheduleError::IndexOutOfRange(9)));
+}
+
+#[test]
+fn run_scenario_propagates_the_same_contract() {
+    // The SoC-level scenario runner (seven tests) surfaces the identical
+    // error values for malformed schedules.
+    let mut cfg = SocConfig::small();
+    cfg.memory_words = 64;
+    let plan = SocTestPlan::small();
+    for (sched, want) in [
+        (Schedule::new("none", vec![]), ScheduleError::Empty),
+        (
+            Schedule::new("hole", vec![vec![0], vec![]]),
+            ScheduleError::EmptyPhase,
+        ),
+        (
+            Schedule::new("oob", vec![vec![7]]),
+            ScheduleError::IndexOutOfRange(7),
+        ),
+        (
+            Schedule::new("dup", vec![vec![0, 0]]),
+            ScheduleError::DuplicateTest(0),
+        ),
+    ] {
+        assert_eq!(
+            run_scenario(&cfg, &plan, &sched).unwrap_err(),
+            want,
+            "schedule '{}'",
+            sched.name
+        );
+    }
+}
