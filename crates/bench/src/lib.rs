@@ -12,6 +12,8 @@
 //! Criterion microbenchmarks live in `benches/` (kernel throughput, bus
 //! arbitration, pattern generation, march engine, scenario ablations).
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 
 /// Formats a Table-I-style row for terminal output.

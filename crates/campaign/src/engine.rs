@@ -33,6 +33,10 @@ pub struct CampaignConfig {
     pub diagnosis_patterns: u64,
     /// Signature-window size of the diagnosis phase 1.
     pub diagnosis_window: u64,
+    /// Whether to statically pre-screen the schedules (`tve-lint`) and
+    /// skip — rather than panic on — statically-rejected ones. Skipped
+    /// schedules are recorded in [`CampaignReport::prescreened`].
+    pub prescreen: bool,
 }
 
 impl CampaignConfig {
@@ -51,7 +55,15 @@ impl CampaignConfig {
             diagnosis: true,
             diagnosis_patterns: 96,
             diagnosis_window: 16,
+            prescreen: false,
         }
+    }
+
+    /// The same campaign with the static pre-screen enabled.
+    #[must_use]
+    pub fn with_prescreen(mut self) -> Self {
+        self.prescreen = true;
+        self
     }
 }
 
@@ -197,11 +209,52 @@ fn diagnose_scan_fault(
 /// the population × schedule order of `config` — regardless of worker
 /// count, so the emitted matrix is byte-identical for any `TVE_JOBS`.
 ///
+/// With `config.prescreen` set, every schedule is first linted against
+/// the plan's static facts; schedules with error-severity diagnostics run
+/// **zero** simulations and are reported in
+/// [`CampaignReport::prescreened`] with their diagnostic codes — a
+/// defective schedule costs microseconds instead of a golden-run panic.
+///
 /// # Panics
 ///
 /// Panics if a schedule is not well-formed for the seven-test plan (the
-/// golden baseline fails), or if a golden run reports test errors.
+/// golden baseline fails), or if a golden run reports test errors. With
+/// `config.prescreen` set, structurally defective schedules are screened
+/// out before they can trip those panics.
 pub fn run_campaign(config: &CampaignConfig, farm: &Farm) -> CampaignReport {
+    // Static pre-screen: partition the schedules before anything runs.
+    let mut prescreened = Vec::new();
+    let schedules: Vec<Schedule> = if config.prescreen {
+        let facts = tve_lint::soc_facts(&config.soc, &config.plan);
+        config
+            .schedules
+            .iter()
+            .filter(|schedule| {
+                let report = tve_lint::lint_schedule_report(schedule, &facts);
+                if report.clean() {
+                    return true;
+                }
+                prescreened.push(crate::matrix::PrescreenedSchedule {
+                    schedule: schedule.name.clone(),
+                    codes: report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.severity == tve_lint::Severity::Error)
+                        .map(|d| d.code.to_string())
+                        .collect(),
+                });
+                false
+            })
+            .cloned()
+            .collect()
+    } else {
+        config.schedules.clone()
+    };
+    let config = &CampaignConfig {
+        schedules,
+        ..config.clone()
+    };
+
     // Golden baselines, farmed per schedule.
     let (golden_results, _, _) = farm.run_map(&config.schedules, |schedule| {
         run_scenario(&config.soc, &config.plan, schedule)
@@ -283,6 +336,7 @@ pub fn run_campaign(config: &CampaignConfig, farm: &Farm) -> CampaignReport {
 
     CampaignReport {
         schedules: config.schedules.iter().map(|s| s.name.clone()).collect(),
+        prescreened,
         cells: results,
         diagnosis,
     }

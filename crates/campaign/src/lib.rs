@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # tve-campaign — systematic fault-injection campaigns
@@ -54,4 +55,4 @@ mod matrix;
 
 pub use engine::{apply_fault, run_campaign, CampaignConfig};
 pub use fault::{generate, FaultSpec, PopulationSpec, SCANNED_CORES};
-pub use matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck};
+pub use matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck, PrescreenedSchedule};

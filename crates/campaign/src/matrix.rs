@@ -81,12 +81,26 @@ pub struct DiagnosisCheck {
     pub confirmed: bool,
 }
 
+/// A schedule the static pre-screen rejected before the campaign: it ran
+/// zero simulations, and here is why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrescreenedSchedule {
+    /// The schedule's name.
+    pub schedule: String,
+    /// The error-severity diagnostic codes that rejected it.
+    pub codes: Vec<String>,
+}
+
 /// The complete campaign result: every (fault × schedule) cell plus the
 /// diagnosis cross-check, with CSV/JSON emitters and coverage accessors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
-    /// Schedule names, in campaign order.
+    /// Schedule names that actually ran, in campaign order.
     pub schedules: Vec<String>,
+    /// Schedules the static pre-screen rejected (empty unless
+    /// `CampaignConfig::prescreen` was set). Never silently dropped: each
+    /// entry records the diagnostic codes that condemned it.
+    pub prescreened: Vec<PrescreenedSchedule>,
     /// Matrix cells, fault-major in population order.
     pub cells: Vec<CellResult>,
     /// Diagnosis cross-checks for detected scan-cell faults.
@@ -215,6 +229,22 @@ impl CampaignReport {
                 sep
             );
         }
+        out.push_str("  ],\n  \"prescreened\": [\n");
+        for (i, p) in self.prescreened.iter().enumerate() {
+            let sep = if i + 1 < self.prescreened.len() {
+                ","
+            } else {
+                ""
+            };
+            let codes: Vec<String> = p.codes.iter().map(|c| json_string(c)).collect();
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"codes\": [{}]}}{}",
+                json_string(&p.schedule),
+                codes.join(", "),
+                sep
+            );
+        }
         out.push_str("  ],\n  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             let sep = if i + 1 < self.cells.len() { "," } else { "" };
@@ -317,6 +347,10 @@ mod tests {
     fn sample_report() -> CampaignReport {
         CampaignReport {
             schedules: vec!["schedule 1 (seq, uncompressed)".into(), "s2".into()],
+            prescreened: vec![PrescreenedSchedule {
+                schedule: "broken (dup)".into(),
+                codes: vec!["sched-dup-test".into()],
+            }],
             cells: vec![
                 CellResult {
                     fault_id: "scan:proc:c0p1s1".into(),
@@ -376,6 +410,8 @@ mod tests {
         tve_obs::check_json(&json).expect("report JSON parses");
         assert!(json.contains("\"core_coverage\": 1.000000"));
         assert!(json.contains("\\\"boom, with comma\\\""));
+        assert!(json.contains("\"prescreened\""));
+        assert!(json.contains("sched-dup-test"));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # tve-core — transaction level models of SoC test infrastructure
@@ -51,8 +52,8 @@ pub use model::{CoreModel, DataPolicy, StuckCell, SyntheticLogicCore};
 pub use outcome::TestOutcome;
 pub use program_text::ParseProgramError;
 pub use schedule::{
-    execute_schedule, execute_schedule_traced, Schedule, ScheduleError, ScheduleResult, TestRun,
-    TestSlot,
+    execute_schedule, execute_schedule_traced, Schedule, ScheduleError, ScheduleResult,
+    StructuralIssue, TestRun, TestSlot,
 };
 pub use source::{AteSource, BistSource, CompressedAteSource, ReadBack};
 pub use wrapper::{

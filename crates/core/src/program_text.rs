@@ -23,22 +23,57 @@ use std::fmt;
 use crate::ate::{AteOp, TestProgram};
 use crate::wrapper::WrapperMode;
 
-/// Error parsing a textual test program.
+/// Error parsing a textual test program, with a source span: the 1-based
+/// line and column of the offending token, and the token itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseProgramError {
-    /// 1-based source line.
+    /// 1-based source line (`0` only for the whole-program "empty program"
+    /// error, which has no span).
     pub line: usize,
+    /// 1-based column (byte offset into the raw line) of the offending
+    /// token.
+    pub column: usize,
+    /// The offending token, verbatim.
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "line {}, col {}: {}",
+                self.line, self.column, self.message
+            )
+        }
     }
 }
 
 impl std::error::Error for ParseProgramError {}
+
+/// Splits the code portion of a line into `(byte_offset, token)` pairs,
+/// preserving positions so errors can carry column spans.
+fn tokenize(code: &str) -> Vec<(usize, &str)> {
+    let mut toks = Vec::new();
+    let mut start = None;
+    for (i, ch) in code.char_indices() {
+        if ch.is_whitespace() {
+            if let Some(s) = start.take() {
+                toks.push((s, &code[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        toks.push((s, &code[s..]));
+    }
+    toks
+}
 
 fn parse_value(token: &str) -> Option<u64> {
     if let Some(hex) = token.strip_prefix("0x") {
@@ -68,88 +103,131 @@ impl TestProgram {
     /// Returns [`ParseProgramError`] with the offending line on malformed
     /// input.
     pub fn parse(name: &str, text: &str) -> Result<Self, ParseProgramError> {
+        Self::parse_with_lines(name, text).map(|(program, _)| program)
+    }
+
+    /// Like [`TestProgram::parse`], but additionally returns the 1-based
+    /// source line of each parsed op (`lines[i]` locates `ops[i]`). Static
+    /// analysis uses this to attach spans to semantic diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] with the offending line, column and
+    /// token on malformed input.
+    pub fn parse_with_lines(
+        name: &str,
+        text: &str,
+    ) -> Result<(Self, Vec<usize>), ParseProgramError> {
         let mut ops = Vec::new();
+        let mut lines = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = i + 1;
-            let err = |message: String| ParseProgramError { line, message };
-            let code = raw.split(['#', ';']).next().unwrap_or("").trim();
-            if code.is_empty() {
+            // Strip the comment suffix without trimming, so token byte
+            // offsets remain valid columns into the raw line.
+            let cut = raw.find(['#', ';']).unwrap_or(raw.len());
+            let toks = tokenize(&raw[..cut]);
+            let Some(&(verb_at, verb)) = toks.first() else {
                 continue;
-            }
-            let mut tokens = code.split_whitespace();
-            let verb = tokens.next().expect("non-empty line");
-            let rest: Vec<&str> = tokens.collect();
+            };
+            let rest = &toks[1..];
+            let err = |at: usize, token: &str, message: String| ParseProgramError {
+                line,
+                column: at + 1,
+                token: token.to_string(),
+                message,
+            };
+            let usage = |message: &str| err(verb_at, verb, message.to_string());
             let op = match verb {
                 "config" => {
-                    let [client, value] = rest.as_slice() else {
-                        return Err(err("usage: config <client> <mode|value>".into()));
+                    let [(cat, client), (vat, value)] = rest else {
+                        return Err(usage("usage: config <client> <mode|value>"));
                     };
                     AteOp::SetConfig {
                         client: client
                             .parse()
-                            .map_err(|_| err(format!("bad client '{client}'")))?,
+                            .map_err(|_| err(*cat, client, format!("bad client '{client}'")))?,
                         value: parse_mode_or_value(value)
-                            .ok_or_else(|| err(format!("bad mode/value '{value}'")))?,
+                            .ok_or_else(|| err(*vat, value, format!("bad mode/value '{value}'")))?,
                     }
                 }
                 "ring" => {
-                    let [list] = rest.as_slice() else {
-                        return Err(err("usage: ring <v0,v1,...>".into()));
+                    let [(lat, list)] = rest else {
+                        return Err(usage("usage: ring <v0,v1,...>"));
                     };
-                    let values = list
-                        .split(',')
-                        .map(|v| {
-                            parse_mode_or_value(v.trim())
-                                .ok_or_else(|| err(format!("bad ring value '{v}'")))
-                        })
-                        .collect::<Result<Vec<u64>, _>>()?;
+                    let mut values = Vec::new();
+                    let mut off = *lat;
+                    for seg in list.split(',') {
+                        let v = seg.trim();
+                        let vat = off + (seg.len() - seg.trim_start().len());
+                        values.push(
+                            parse_mode_or_value(v)
+                                .ok_or_else(|| err(vat, v, format!("bad ring value '{v}'")))?,
+                        );
+                        off += seg.len() + 1;
+                    }
                     AteOp::ConfigureRing(values)
                 }
                 "run" => {
                     if rest.is_empty() {
-                        return Err(err("usage: run <test> [<test>...]".into()));
+                        return Err(usage("usage: run <test> [<test>...]"));
                     }
                     let tests = rest
                         .iter()
-                        .map(|t| t.parse().map_err(|_| err(format!("bad test index '{t}'"))))
+                        .map(|(tat, t)| {
+                            t.parse()
+                                .map_err(|_| err(*tat, t, format!("bad test index '{t}'")))
+                        })
                         .collect::<Result<Vec<usize>, _>>()?;
                     AteOp::RunTests(tests)
                 }
                 "expect" => {
-                    let [wrapper, sig] = rest.as_slice() else {
-                        return Err(err("usage: expect <wrapper> <signature>".into()));
+                    let [(wat, wrapper), (sat, sig)] = rest else {
+                        return Err(usage("usage: expect <wrapper> <signature>"));
                     };
                     AteOp::ExpectSignature {
                         wrapper: wrapper
                             .parse()
-                            .map_err(|_| err(format!("bad wrapper '{wrapper}'")))?,
+                            .map_err(|_| err(*wat, wrapper, format!("bad wrapper '{wrapper}'")))?,
                         expected: parse_value(sig)
-                            .ok_or_else(|| err(format!("bad signature '{sig}'")))?,
+                            .ok_or_else(|| err(*sat, sig, format!("bad signature '{sig}'")))?,
                     }
                 }
                 "wait" => {
-                    let [cycles] = rest.as_slice() else {
-                        return Err(err("usage: wait <cycles>".into()));
+                    let [(cat, cycles)] = rest else {
+                        return Err(usage("usage: wait <cycles>"));
                     };
                     AteOp::WaitCycles(
-                        parse_value(cycles)
-                            .ok_or_else(|| err(format!("bad cycle count '{cycles}'")))?,
+                        parse_value(cycles).ok_or_else(|| {
+                            err(*cat, cycles, format!("bad cycle count '{cycles}'"))
+                        })?,
                     )
                 }
-                other => return Err(err(format!("unknown instruction '{other}'"))),
+                other => {
+                    return Err(err(
+                        verb_at,
+                        other,
+                        format!("unknown instruction '{other}'"),
+                    ))
+                }
             };
             ops.push(op);
+            lines.push(line);
         }
         if ops.is_empty() {
             return Err(ParseProgramError {
                 line: 0,
+                column: 0,
+                token: String::new(),
                 message: "empty program".to_string(),
             });
         }
-        Ok(TestProgram {
-            name: name.to_string(),
-            ops,
-        })
+        Ok((
+            TestProgram {
+                name: name.to_string(),
+                ops,
+            },
+            lines,
+        ))
     }
 }
 
@@ -236,5 +314,54 @@ mod tests {
         let e = TestProgram::parse("x", "expect 0 zzz").unwrap_err();
         assert!(e.message.contains("signature"), "{e}");
         assert!(TestProgram::parse("x", "# only comments\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_columns_and_tokens() {
+        // The offending token's 1-based column, even with leading blanks
+        // and trailing comments.
+        let e = TestProgram::parse("x", "  config 9 zap  ; set mode").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 12));
+        assert_eq!(e.token, "zap");
+        assert_eq!(e.to_string(), "line 1, col 12: bad mode/value 'zap'");
+
+        // Sub-token spans inside a ring list.
+        let e = TestProgram::parse("x", "ring 1,2,xx,4").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 10));
+        assert_eq!(e.token, "xx");
+        assert_eq!(e.to_string(), "line 1, col 10: bad ring value 'xx'");
+
+        // Usage errors point at the verb itself.
+        let e = TestProgram::parse("x", "wait 5\nconfig 0").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert_eq!(e.token, "config");
+        assert_eq!(
+            e.to_string(),
+            "line 2, col 1: usage: config <client> <mode|value>"
+        );
+
+        // Unknown instructions carry the verb as the token.
+        let e = TestProgram::parse("x", "frobnicate 1").unwrap_err();
+        assert_eq!((e.line, e.column, e.token.as_str()), (1, 1, "frobnicate"));
+        assert_eq!(
+            e.to_string(),
+            "line 1, col 1: unknown instruction 'frobnicate'"
+        );
+
+        // The whole-program error has no span.
+        let e = TestProgram::parse("x", "# nothing\n").unwrap_err();
+        assert_eq!((e.line, e.column), (0, 0));
+        assert_eq!(e.to_string(), "empty program");
+    }
+
+    #[test]
+    fn parse_with_lines_locates_each_op() {
+        let (p, lines) = TestProgram::parse_with_lines(
+            "x",
+            "# header\nring 0,0,0,0,0,0\n\nconfig 0 bist ; comment\nrun 0\n",
+        )
+        .unwrap();
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(lines, vec![2, 4, 5]);
     }
 }

@@ -78,31 +78,78 @@ impl Schedule {
 
     /// Checks well-formedness against a test list of `test_count` entries.
     ///
+    /// This is the dynamic-validation entry point; it reports the *first*
+    /// issue found by [`Schedule::structural_issues`], walking phases in
+    /// order. Static analysis (`tve-lint`) consumes the full enumeration,
+    /// so the two paths can never drift.
+    ///
     /// # Errors
     ///
     /// Returns [`ScheduleError`] for out-of-range indices, duplicates, or
     /// empty phases.
     pub fn validate(&self, test_count: usize) -> Result<(), ScheduleError> {
-        let mut seen = vec![false; test_count];
-        if self.phases.is_empty() {
-            return Err(ScheduleError::Empty);
+        match self.structural_issues(test_count).into_iter().next() {
+            Some(issue) => Err(issue.error),
+            None => Ok(()),
         }
-        for phase in &self.phases {
+    }
+
+    /// Enumerates *every* structural issue of this schedule against a test
+    /// list of `test_count` entries, in phase order.
+    ///
+    /// This is the single source of truth for structural well-formedness:
+    /// [`Schedule::validate`] (the dynamic path) returns the first entry,
+    /// and `tve-lint` (the static path) turns each entry into a diagnostic
+    /// whose code is [`ScheduleError::code`]. An empty return means the
+    /// schedule is structurally sound.
+    pub fn structural_issues(&self, test_count: usize) -> Vec<StructuralIssue> {
+        let mut issues = Vec::new();
+        if self.phases.is_empty() {
+            issues.push(StructuralIssue {
+                error: ScheduleError::Empty,
+                phase: None,
+            });
+            return issues;
+        }
+        let mut seen = vec![false; test_count];
+        for (pi, phase) in self.phases.iter().enumerate() {
             if phase.is_empty() {
-                return Err(ScheduleError::EmptyPhase);
+                issues.push(StructuralIssue {
+                    error: ScheduleError::EmptyPhase,
+                    phase: Some(pi),
+                });
+                continue;
             }
             for &t in phase {
                 if t >= test_count {
-                    return Err(ScheduleError::IndexOutOfRange(t));
+                    issues.push(StructuralIssue {
+                        error: ScheduleError::IndexOutOfRange(t),
+                        phase: Some(pi),
+                    });
+                } else if seen[t] {
+                    issues.push(StructuralIssue {
+                        error: ScheduleError::DuplicateTest(t),
+                        phase: Some(pi),
+                    });
+                } else {
+                    seen[t] = true;
                 }
-                if seen[t] {
-                    return Err(ScheduleError::DuplicateTest(t));
-                }
-                seen[t] = true;
             }
         }
-        Ok(())
+        issues
     }
+}
+
+/// One structural finding from [`Schedule::structural_issues`]: the error
+/// value (identical to what [`Schedule::validate`] would return were it the
+/// first issue) plus the phase it was found in, when applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuralIssue {
+    /// The issue, as the dynamic-path error value.
+    pub error: ScheduleError,
+    /// The phase index the issue was found in (`None` for whole-schedule
+    /// issues such as [`ScheduleError::Empty`]).
+    pub phase: Option<usize>,
 }
 
 impl fmt::Display for Schedule {
@@ -136,6 +183,21 @@ pub enum ScheduleError {
     IndexOutOfRange(usize),
     /// A test is scheduled more than once.
     DuplicateTest(usize),
+}
+
+impl ScheduleError {
+    /// The stable diagnostic code of this error variant — the 1:1 bridge
+    /// between dynamic validation and `tve-lint` static diagnostics. Lint
+    /// diagnostics for structural issues carry exactly this string, so the
+    /// two paths cannot disagree on naming.
+    pub const fn code(&self) -> &'static str {
+        match self {
+            ScheduleError::Empty => "sched-empty",
+            ScheduleError::EmptyPhase => "sched-empty-phase",
+            ScheduleError::IndexOutOfRange(_) => "sched-index-range",
+            ScheduleError::DuplicateTest(_) => "sched-dup-test",
+        }
+    }
 }
 
 impl fmt::Display for ScheduleError {
@@ -385,6 +447,66 @@ mod tests {
         assert!(Schedule::new("x", vec![vec![0], vec![1]])
             .validate(2)
             .is_ok());
+    }
+
+    #[test]
+    fn structural_issues_enumerates_everything_validate_reports_first() {
+        let s = Schedule::new("multi", vec![vec![0, 0], vec![], vec![9]]);
+        let issues = s.structural_issues(2);
+        assert_eq!(
+            issues,
+            vec![
+                StructuralIssue {
+                    error: ScheduleError::DuplicateTest(0),
+                    phase: Some(0),
+                },
+                StructuralIssue {
+                    error: ScheduleError::EmptyPhase,
+                    phase: Some(1),
+                },
+                StructuralIssue {
+                    error: ScheduleError::IndexOutOfRange(9),
+                    phase: Some(2),
+                },
+            ]
+        );
+        // validate is exactly "first enumerated issue".
+        assert_eq!(s.validate(2), Err(issues[0].error));
+        assert_eq!(
+            Schedule::new("ok", vec![vec![0], vec![1]]).structural_issues(2),
+            vec![]
+        );
+        assert_eq!(
+            Schedule::new("none", vec![]).structural_issues(2),
+            vec![StructuralIssue {
+                error: ScheduleError::Empty,
+                phase: None,
+            }]
+        );
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_distinct() {
+        let variants = [
+            ScheduleError::Empty,
+            ScheduleError::EmptyPhase,
+            ScheduleError::IndexOutOfRange(3),
+            ScheduleError::DuplicateTest(3),
+        ];
+        let codes: Vec<&str> = variants.iter().map(ScheduleError::code).collect();
+        assert_eq!(
+            codes,
+            [
+                "sched-empty",
+                "sched-empty-phase",
+                "sched-index-range",
+                "sched-dup-test"
+            ]
+        );
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes are unique");
     }
 
     #[test]

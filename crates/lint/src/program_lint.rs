@@ -1,0 +1,341 @@
+//! The test-program analyzer: lints the textual ATE program format
+//! ([`tve_core::TestProgram::parse`]) against [`PlanFacts`] without
+//! executing it on the Virtual ATE.
+//!
+//! The analysis interprets the program the way the Virtual ATE would —
+//! configuration state is driven *only* by explicit `config`/`ring`
+//! instructions (the ATE does not see the configuration a test sequence
+//! may embed) — and flags references the ATE would reject at run time
+//! plus config-ordering mistakes it would silently mis-execute.
+
+use std::collections::BTreeMap;
+
+use tve_core::{AteOp, TestProgram};
+
+use crate::diag::{codes, Diagnostic, Location, Severity};
+use crate::facts::PlanFacts;
+
+/// Lints program text. A parse failure yields a single `prog-parse` error
+/// carrying the parser's span; otherwise the op sequence is abstractly
+/// interpreted and every problem is reported.
+pub fn lint_program(name: &str, text: &str, facts: &PlanFacts) -> Vec<Diagnostic> {
+    let (program, lines) = match TestProgram::parse_with_lines(name, text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                codes::PROG_PARSE,
+                Severity::Error,
+                Location::Span {
+                    line: e.line,
+                    column: e.column,
+                },
+                e.message.clone(),
+            )
+            .with_note(format!("offending token: '{}'", e.token))];
+        }
+    };
+    lint_parsed(&program, &lines, facts)
+}
+
+/// Lints an already-parsed program; `lines[i]` locates `ops[i]`.
+fn lint_parsed(program: &TestProgram, lines: &[usize], facts: &PlanFacts) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let at = |i: usize| Location::Span {
+        line: lines.get(i).copied().unwrap_or(0),
+        column: 1,
+    };
+    // Abstract ATE state: last value explicitly loaded into each ring
+    // client, config writes not yet consumed by a `run`, tests already
+    // consumed, and whether anything has run yet.
+    let mut ring = vec![0u64; facts.ring_clients];
+    let mut pending: BTreeMap<usize, usize> = BTreeMap::new(); // client -> op index
+    let mut ran: BTreeMap<usize, usize> = BTreeMap::new(); // test -> op index
+    let mut any_run = false;
+
+    for (i, op) in program.ops.iter().enumerate() {
+        match op {
+            AteOp::SetConfig { client, value } => {
+                if *client >= facts.ring_clients {
+                    diags.push(Diagnostic::new(
+                        codes::PROG_UNKNOWN_CLIENT,
+                        Severity::Error,
+                        at(i),
+                        format!(
+                            "ring client {client} does not exist (ring has {} clients)",
+                            facts.ring_clients
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(&prev) = pending.get(client) {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::PROG_CLOBBERED,
+                            Severity::Warning,
+                            at(i),
+                            format!(
+                                "config of ring client {client} overwrites the value set on \
+                                 line {} before any test ran",
+                                lines.get(prev).copied().unwrap_or(0)
+                            ),
+                        )
+                        .with_note("the earlier configuration never takes effect"),
+                    );
+                }
+                ring[*client] = *value;
+                pending.insert(*client, i);
+            }
+            AteOp::ConfigureRing(values) => {
+                if values.len() != facts.ring_clients {
+                    diags.push(Diagnostic::new(
+                        codes::PROG_RING_WIDTH,
+                        Severity::Warning,
+                        at(i),
+                        format!(
+                            "ring rotation loads {} values but the ring has {} clients",
+                            values.len(),
+                            facts.ring_clients
+                        ),
+                    ));
+                }
+                for (client, &prev) in &pending {
+                    if values.get(*client).copied() != Some(ring[*client]) {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::PROG_CLOBBERED,
+                                Severity::Warning,
+                                at(i),
+                                format!(
+                                    "ring rotation overwrites client {client}'s config from \
+                                     line {} before any test ran",
+                                    lines.get(prev).copied().unwrap_or(0)
+                                ),
+                            )
+                            .with_note("the earlier configuration never takes effect"),
+                        );
+                    }
+                }
+                for (client, slot) in ring.iter_mut().enumerate() {
+                    *slot = values.get(client).copied().unwrap_or(0);
+                }
+                pending.clear();
+            }
+            AteOp::RunTests(tests) => {
+                for &t in tests {
+                    if t >= facts.tests.len() {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::PROG_UNKNOWN_TEST,
+                                Severity::Error,
+                                at(i),
+                                format!(
+                                    "test {t} does not exist (plan defines {} tests)",
+                                    facts.tests.len()
+                                ),
+                            )
+                            .with_note("the Virtual ATE reports UnknownTest and skips it"),
+                        );
+                        continue;
+                    }
+                    if let Some(&prev) = ran.get(&t) {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::PROG_DUP_RUN,
+                                Severity::Error,
+                                at(i),
+                                format!(
+                                    "test {t} ({}) was already run on line {}",
+                                    facts.tests[t].name,
+                                    lines.get(prev).copied().unwrap_or(0)
+                                ),
+                            )
+                            .with_note(
+                                "test sequences are consumed when run; the Virtual ATE \
+                                 reports UnknownTest for the second launch",
+                            ),
+                        );
+                        continue;
+                    }
+                    for &client in &facts.tests[t].needs_functional {
+                        if ring.get(client).is_some_and(|&v| v != 0) {
+                            diags.push(
+                                Diagnostic::new(
+                                    codes::RING_STALE,
+                                    Severity::Error,
+                                    at(i),
+                                    format!(
+                                        "test {t} ({}) needs ring client {client} functional, \
+                                         but the program left {:#x} configured there",
+                                        facts.tests[t].name, ring[client]
+                                    ),
+                                )
+                                .with_note("reset the client to functional (0) before this run"),
+                            );
+                        }
+                    }
+                    ran.insert(t, i);
+                }
+                any_run = true;
+                pending.clear();
+            }
+            AteOp::ExpectSignature { wrapper, .. } => {
+                if *wrapper >= facts.wrappers {
+                    diags.push(Diagnostic::new(
+                        codes::PROG_UNKNOWN_WRAPPER,
+                        Severity::Error,
+                        at(i),
+                        format!(
+                            "wrapper {wrapper} does not exist (SoC has {} wrappers)",
+                            facts.wrappers
+                        ),
+                    ));
+                }
+                if !any_run {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::PROG_READ_BEFORE_RUN,
+                            Severity::Warning,
+                            at(i),
+                            format!("signature of wrapper {wrapper} read before any test ran"),
+                        )
+                        .with_note("the signature register still holds its reset value"),
+                    );
+                }
+            }
+            AteOp::WaitCycles(_) => {}
+        }
+    }
+
+    for (client, &op) in &pending {
+        diags.push(
+            Diagnostic::new(
+                codes::PROG_UNUSED,
+                Severity::Warning,
+                at(op),
+                format!("config of ring client {client} is never used by a test run"),
+            )
+            .with_note("dead configuration — drop it or add the missing run"),
+        );
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::soc_facts;
+    use tve_soc::{SocConfig, SocTestPlan};
+
+    fn facts() -> PlanFacts {
+        soc_facts(&SocConfig::small(), &SocTestPlan::small())
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let text = "ring bist,0,inttest,0,1,1\nrun 0 4\nwait 100\nexpect 0 0x0\n";
+        let diags = lint_program("prod", text, &facts());
+        // `expect` after a run with an arbitrary golden is statically fine
+        // (signature values are a dynamic question).
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn parse_failure_becomes_a_spanned_error() {
+        let diags = lint_program("bad", "config 9 zap", &facts());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::PROG_PARSE);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(
+            diags[0].location,
+            Location::Span {
+                line: 1,
+                column: 10
+            }
+        );
+        assert!(diags[0].notes[0].contains("'zap'"), "{:?}", diags[0].notes);
+    }
+
+    #[test]
+    fn unknown_references_are_errors() {
+        let text = "config 9 bist\nrun 42\nexpect 7 0x1\nrun 0\n";
+        let diags = lint_program("refs", text, &facts());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&codes::PROG_UNKNOWN_CLIENT), "{codes:?}");
+        assert!(codes.contains(&codes::PROG_UNKNOWN_TEST), "{codes:?}");
+        assert!(codes.contains(&codes::PROG_UNKNOWN_WRAPPER), "{codes:?}");
+    }
+
+    #[test]
+    fn double_run_is_caught_statically() {
+        let diags = lint_program("dup", "config 0 bist\nrun 0\nrun 0\n", &facts());
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::PROG_DUP_RUN)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Span { line: 3, column: 1 });
+        assert!(d.message.contains("line 2"), "{}", d.message);
+    }
+
+    #[test]
+    fn signature_read_before_any_run_is_a_warning() {
+        let diags = lint_program("early", "expect 0 0x0\nrun 0\n", &facts());
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::PROG_READ_BEFORE_RUN)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.location, Location::Span { line: 1, column: 1 });
+    }
+
+    #[test]
+    fn clobbered_and_unused_configs_are_warned() {
+        // Two writes to client 0 with no run in between, and a write to
+        // client 1 never consumed at all.
+        let text = "config 0 bist\nconfig 0 inttest\nrun 0\nconfig 1 1\n";
+        let diags = lint_program("clobber", text, &facts());
+        let clob = diags
+            .iter()
+            .find(|d| d.code == codes::PROG_CLOBBERED)
+            .unwrap();
+        assert_eq!(clob.location, Location::Span { line: 2, column: 1 });
+        assert!(clob.message.contains("line 1"), "{}", clob.message);
+        let unused = diags.iter().find(|d| d.code == codes::PROG_UNUSED).unwrap();
+        assert_eq!(unused.location, Location::Span { line: 4, column: 1 });
+    }
+
+    #[test]
+    fn ring_width_mismatch_is_warned() {
+        let diags = lint_program("narrow", "ring 1,2\nrun 0\n", &facts());
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::PROG_RING_WIDTH)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("2 values"), "{}", d.message);
+    }
+
+    #[test]
+    fn stale_test_mode_before_a_functional_path_test_is_an_error() {
+        // Client 3 is the memory wrapper; test 5 (march via controller)
+        // needs it functional.
+        let text = "config 3 bist\nrun 5\n";
+        let diags = lint_program("stale", text, &facts());
+        let d = diags.iter().find(|d| d.code == codes::RING_STALE).unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Span { line: 2, column: 1 });
+    }
+
+    #[test]
+    fn ring_rotation_clobbers_pending_configs() {
+        let text = "config 0 bist\nring 0,0,0,0,0,0\nrun 0\n";
+        let diags = lint_program("rot", text, &facts());
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::PROG_CLOBBERED)
+            .unwrap();
+        assert!(d.message.contains("client 0"), "{}", d.message);
+        assert!(d.message.contains("line 1"), "{}", d.message);
+    }
+}

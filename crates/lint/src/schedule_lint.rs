@@ -1,0 +1,405 @@
+//! The schedule analyzer: structural checks shared with
+//! [`tve_core::Schedule::validate`], plus resource-race, WIR-conflict,
+//! ring-ordering, power and reachability checks over [`PlanFacts`] —
+//! all without building a simulation.
+
+use std::collections::BTreeMap;
+
+use tve_core::Schedule;
+
+use crate::diag::{codes, Diagnostic, Location, Severity};
+use crate::facts::{PlanFacts, TamChannel};
+
+/// Runs every schedule check and returns the diagnostics in phase order
+/// (structural first, then per-phase resource checks, then cross-phase
+/// ordering, then whole-schedule reachability).
+///
+/// The structural checks are the *same enumeration* the dynamic
+/// validator uses ([`Schedule::structural_issues`]); their codes come
+/// from [`tve_core::ScheduleError::code`], so a statically-reported
+/// structural error and the dynamic [`tve_core::ScheduleError`] it
+/// predicts can never drift apart.
+pub fn lint_schedule(schedule: &Schedule, facts: &PlanFacts) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = facts.tests.len();
+
+    // 1. Structural issues — shared enumeration with Schedule::validate.
+    for issue in schedule.structural_issues(n) {
+        let location = match issue.phase {
+            Some(p) => Location::Phase(p),
+            None => Location::Schedule,
+        };
+        diags.push(Diagnostic::new(
+            issue.error.code(),
+            Severity::Error,
+            location,
+            issue.error.to_string(),
+        ));
+    }
+
+    // The remaining checks reason about the tests that would actually run:
+    // in-range indices, first occurrence only (duplicates are already
+    // reported above and the executor refuses them anyway).
+    let mut seen = vec![false; n];
+    let effective: Vec<Vec<usize>> = schedule
+        .phases
+        .iter()
+        .map(|phase| {
+            phase
+                .iter()
+                .copied()
+                .filter(|&t| t < n && !std::mem::replace(&mut seen[t], true))
+                .collect()
+        })
+        .collect();
+
+    // 2. Per-phase resource checks.
+    for (p, phase) in effective.iter().enumerate() {
+        check_core_races(p, phase, facts, &mut diags);
+        check_serial_races(p, phase, facts, &mut diags);
+        check_wir_conflicts(p, phase, facts, &mut diags);
+        check_tam_demand(p, phase, facts, &mut diags);
+        check_power(p, phase, facts, &mut diags);
+    }
+
+    // 3. Cross-phase configuration-ring ordering.
+    check_ring_ordering(&effective, facts, &mut diags);
+
+    // 4. Reachability: tests the plan defines but the schedule never runs.
+    for (t, used) in seen.iter().enumerate() {
+        if !used {
+            diags.push(
+                Diagnostic::new(
+                    codes::DEAD_TEST,
+                    Severity::Warning,
+                    Location::Schedule,
+                    format!("test {t} ({}) is never scheduled", facts.tests[t].name),
+                )
+                .with_note("coverage the plan calls for will be silently missing"),
+            );
+        }
+    }
+
+    diags
+}
+
+/// Two tests in one phase claiming the same core: the second WIR write or
+/// pattern stream corrupts the first. Always an error.
+fn check_core_races(p: usize, phase: &[usize], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let mut by_core: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+    for &t in phase {
+        for core in &facts.tests[t].cores {
+            by_core.entry(core).or_default().push(t);
+        }
+    }
+    for (core, tests) in by_core {
+        if tests.len() > 1 {
+            let names: Vec<&str> = tests
+                .iter()
+                .map(|&t| facts.tests[t].name.as_str())
+                .collect();
+            diags.push(
+                Diagnostic::new(
+                    codes::CORE_RACE,
+                    Severity::Error,
+                    Location::Phase(p),
+                    format!("tests {tests:?} contend for core '{core}'"),
+                )
+                .with_note(format!("contenders: {}", names.join(", ")))
+                .with_note("concurrent access to one core's scan/march logic is undefined"),
+            );
+        }
+    }
+}
+
+/// More than one serial-channel (ATE-fed) test in a phase: they serialize
+/// on the single EBI channel. A warning — the schedule still executes, but
+/// the phase will stretch; simulation quantifies by how much.
+fn check_serial_races(p: usize, phase: &[usize], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let serial: Vec<usize> = phase
+        .iter()
+        .copied()
+        .filter(|&t| facts.tests[t].channel == TamChannel::Serial)
+        .collect();
+    if serial.len() > 1 {
+        diags.push(
+            Diagnostic::new(
+                codes::SERIAL_RACE,
+                Severity::Warning,
+                Location::Phase(p),
+                format!("tests {serial:?} share the single serial ATE channel"),
+            )
+            .with_note("the channel serializes them; simulate to quantify the stretch"),
+        );
+    }
+}
+
+/// Two tests in one phase writing different values to the same ring
+/// client: whichever configures last wins and the other test runs in the
+/// wrong mode. Same-value writes are compatible.
+fn check_wir_conflicts(p: usize, phase: &[usize], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let mut writes: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+    for &t in phase {
+        for w in &facts.tests[t].wir {
+            writes.entry(w.client).or_default().push((t, w.value));
+        }
+    }
+    for (client, entries) in writes {
+        let values: Vec<u64> = entries.iter().map(|&(_, v)| v).collect();
+        if values.windows(2).any(|w| w[0] != w[1]) {
+            let detail: Vec<String> = entries
+                .iter()
+                .map(|&(t, v)| format!("test {t} writes {v:#x}"))
+                .collect();
+            diags.push(
+                Diagnostic::new(
+                    codes::WIR_CONFLICT,
+                    Severity::Error,
+                    Location::Phase(p),
+                    format!("incompatible WIR values for ring client {client}"),
+                )
+                .with_note(detail.join("; "))
+                .with_note("the last configuration wins; the other test runs in the wrong mode"),
+            );
+        }
+    }
+}
+
+/// Summed bus-TAM share above 1.0: the phase is over-subscribed. A
+/// warning — arbitration resolves it, at a cost only simulation measures.
+fn check_tam_demand(p: usize, phase: &[usize], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let demand: f64 = phase.iter().map(|&t| facts.tests[t].tam_share).sum();
+    if demand > 1.0 + 1e-9 {
+        diags.push(
+            Diagnostic::new(
+                codes::TAM_OVERSUB,
+                Severity::Warning,
+                Location::Phase(p),
+                format!("bus TAM demand {demand:.2} exceeds capacity 1.00"),
+            )
+            .with_note("tests will stretch under arbitration; simulate to quantify"),
+        );
+    }
+}
+
+/// Summed peak power above the plan budget: the phase may brown out the
+/// device under test. An error when a budget is declared.
+fn check_power(p: usize, phase: &[usize], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let Some(budget) = facts.power_budget else {
+        return;
+    };
+    let peak: f64 = phase.iter().map(|&t| facts.tests[t].peak_power).sum();
+    if peak > budget + 1e-9 {
+        diags.push(
+            Diagnostic::new(
+                codes::POWER_OVERCOMMIT,
+                Severity::Error,
+                Location::Phase(p),
+                format!("phase peak power {peak:.0} exceeds budget {budget:.0}"),
+            )
+            .with_note("split the phase or drop a test to stay within the budget"),
+        );
+    }
+}
+
+/// Walks the schedule in phase order tracking the last value written to
+/// each ring client. A test that needs a client functional (value 0) while
+/// a test-mode value from an earlier phase is still latched there reads a
+/// corrupted functional path — an ordering hazard invisible to per-phase
+/// checks.
+fn check_ring_ordering(effective: &[Vec<usize>], facts: &PlanFacts, diags: &mut Vec<Diagnostic>) {
+    let mut ring = vec![0u64; facts.ring_clients];
+    let mut writer: Vec<Option<(usize, usize)>> = vec![None; facts.ring_clients];
+    for (p, phase) in effective.iter().enumerate() {
+        // Check each test against the state left by *earlier* phases.
+        for &t in phase {
+            let tf = &facts.tests[t];
+            for &client in &tf.needs_functional {
+                let own_write = tf.wir.iter().any(|w| w.client == client);
+                if client < ring.len() && ring[client] != 0 && !own_write {
+                    let mut d = Diagnostic::new(
+                        codes::RING_STALE,
+                        Severity::Error,
+                        Location::Test { phase: p, test: t },
+                        format!(
+                            "test {t} ({}) needs ring client {client} functional, but a \
+                             test-mode value {:#x} is still latched there",
+                            tf.name, ring[client]
+                        ),
+                    );
+                    if let Some((wp, wt)) = writer[client] {
+                        d = d.with_note(format!("written by test {wt} in phase {wp}"));
+                    }
+                    diags.push(
+                        d.with_note("insert a functional reconfiguration or reorder the phases"),
+                    );
+                }
+            }
+        }
+        // Then apply this phase's writes (tests within a phase configure
+        // before any of them runs, so writes take effect for later phases).
+        for &t in phase {
+            for w in &facts.tests[t].wir {
+                if w.client < ring.len() {
+                    ring[w.client] = w.value;
+                    writer[w.client] = Some((p, t));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::{soc_facts, TestFacts, WirWrite};
+    use tve_soc::{paper_schedules, SocConfig, SocTestPlan, RING_MEM, RING_PROC};
+
+    fn facts() -> PlanFacts {
+        soc_facts(&SocConfig::small(), &SocTestPlan::small())
+    }
+
+    #[test]
+    fn paper_schedules_have_no_errors() {
+        let facts = soc_facts(&SocConfig::paper(), &SocTestPlan::paper());
+        for s in paper_schedules() {
+            let diags = lint_schedule(&s, &facts);
+            assert!(
+                diags.iter().all(|d| d.severity != Severity::Error),
+                "{}: {diags:?}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn structural_issues_surface_with_schedule_error_codes() {
+        let s = Schedule::new("bad", vec![vec![0, 0], vec![], vec![99]]);
+        let diags = lint_schedule(&s, &facts());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"sched-dup-test"), "{codes:?}");
+        assert!(codes.contains(&"sched-empty-phase"), "{codes:?}");
+        assert!(codes.contains(&"sched-index-range"), "{codes:?}");
+    }
+
+    #[test]
+    fn core_race_is_an_error() {
+        // T1 and T2 both claim the processor.
+        let s = Schedule::new("race", vec![vec![0, 1]]);
+        let diags = lint_schedule(&s, &facts());
+        let race = diags.iter().find(|d| d.code == codes::CORE_RACE).unwrap();
+        assert_eq!(race.severity, Severity::Error);
+        assert_eq!(race.location, Location::Phase(0));
+    }
+
+    #[test]
+    fn serial_sharing_is_a_warning_not_an_error() {
+        // T2 (proc, serial) and T5 (dct, serial): no core conflict, but
+        // both need the ATE channel.
+        let s = Schedule::new("serial", vec![vec![1, 4]]);
+        let diags = lint_schedule(&s, &facts());
+        let d = diags.iter().find(|d| d.code == codes::SERIAL_RACE).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn wir_conflict_detected_for_incompatible_modes() {
+        // Synthetic plan: two tests writing different values to client 0.
+        let mk = |name: &str, value: u64| TestFacts {
+            name: name.to_string(),
+            cores: vec![],
+            channel: TamChannel::Bus,
+            wir: vec![WirWrite { client: 0, value }],
+            needs_functional: vec![],
+            peak_power: 1.0,
+            tam_share: 0.1,
+        };
+        let plan = PlanFacts {
+            tests: vec![mk("a", 2), mk("b", 4)],
+            ring_clients: 2,
+            wrappers: 1,
+            power_budget: None,
+        };
+        let s = Schedule::new("conflict", vec![vec![0, 1]]);
+        let diags = lint_schedule(&s, &plan);
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::WIR_CONFLICT)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn stale_ring_config_across_phases_is_flagged() {
+        // T1 latches BIST mode into the processor wrapper; T7 later needs
+        // the processor... actually T7 needs RING_MEM functional. Build the
+        // hazard directly: a test that writes RING_MEM, then a march test.
+        let mut plan = facts();
+        plan.tests[0].wir.push(WirWrite {
+            client: RING_MEM,
+            value: 3,
+        });
+        let s = Schedule::new("stale", vec![vec![0], vec![5]]);
+        let diags = lint_schedule(&s, &plan);
+        let d = diags.iter().find(|d| d.code == codes::RING_STALE).unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.location, Location::Test { phase: 1, test: 5 });
+        assert!(d.notes.iter().any(|n| n.contains("phase 0")), "{d:?}");
+    }
+
+    #[test]
+    fn same_phase_writes_do_not_trip_the_ordering_check() {
+        // T1 writes RING_PROC in phase 0; a test needing RING_PROC
+        // functional in the *same* phase is a WIR-level concern, not a
+        // cross-phase ordering hazard (and T6 doesn't need RING_PROC
+        // anyway). Sanity: T1 then T6 in separate phases is clean because
+        // T1 writes RING_PROC, not RING_MEM.
+        let s = Schedule::new("ok", vec![vec![0], vec![5]]);
+        let diags = lint_schedule(&s, &facts());
+        assert!(
+            !diags.iter().any(|d| d.code == codes::RING_STALE),
+            "{diags:?}"
+        );
+        let _ = RING_PROC;
+    }
+
+    #[test]
+    fn power_budget_overcommit_is_an_error_only_with_a_budget() {
+        // T1 (180) + T4 (90) = 270.
+        let s = Schedule::new("hot", vec![vec![0, 3]]);
+        let unbudgeted = lint_schedule(&s, &facts());
+        assert!(!unbudgeted.iter().any(|d| d.code == codes::POWER_OVERCOMMIT));
+        let budgeted = lint_schedule(&s, &facts().with_budget(200.0));
+        let d = budgeted
+            .iter()
+            .find(|d| d.code == codes::POWER_OVERCOMMIT)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("270"), "{}", d.message);
+    }
+
+    #[test]
+    fn dead_tests_are_warned_about() {
+        let s = Schedule::new("partial", vec![vec![0], vec![3]]);
+        let diags = lint_schedule(&s, &facts());
+        let dead: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == codes::DEAD_TEST)
+            .collect();
+        assert_eq!(dead.len(), 5, "{dead:?}");
+        assert!(dead.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn duplicate_tests_do_not_double_count_resources() {
+        // `[0, 0]` is a structural duplicate; it must not ALSO produce a
+        // self-race on the processor.
+        let s = Schedule::new("dup", vec![vec![0, 0]]);
+        let diags = lint_schedule(&s, &facts());
+        assert!(diags.iter().any(|d| d.code == "sched-dup-test"));
+        assert!(
+            !diags.iter().any(|d| d.code == codes::CORE_RACE),
+            "{diags:?}"
+        );
+    }
+}

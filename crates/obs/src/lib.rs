@@ -50,6 +50,7 @@
 //! check_json(std::str::from_utf8(&json).unwrap()).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod agg;

@@ -35,6 +35,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tve_core::{Schedule, ScheduleError};
+use tve_lint::{lint_schedule, soc_facts, LintReport};
 use tve_obs::{SpanKind, SpanRecord, StoragePolicy, TraceLog};
 use tve_sim::Time;
 use tve_soc::{run_scenario, run_scenario_traced, ScenarioMetrics, SocConfig, SocTestPlan};
@@ -88,6 +89,9 @@ pub enum JobError {
     Schedule(ScheduleError),
     /// The simulation panicked; the payload (if stringlike) is preserved.
     Panicked(String),
+    /// Static analysis rejected the job before any simulation was built
+    /// ([`Farm::run_prescreened`]); the report says why.
+    Rejected(LintReport),
 }
 
 impl fmt::Display for JobError {
@@ -95,6 +99,12 @@ impl fmt::Display for JobError {
         match self {
             JobError::Schedule(e) => write!(f, "invalid schedule: {e}"),
             JobError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            JobError::Rejected(report) => write!(
+                f,
+                "rejected by static analysis ({} error(s): {})",
+                report.error_count(),
+                report.codes().join(", ")
+            ),
         }
     }
 }
@@ -155,6 +165,28 @@ impl BatchReport {
     /// Whether every job produced metrics.
     pub fn all_ok(&self) -> bool {
         self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// How many jobs the static pre-screen rejected
+    /// ([`Farm::run_prescreened`]); always 0 for plain [`Farm::run`]
+    /// batches.
+    pub fn rejected_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.result, Err(JobError::Rejected(_))))
+            .count()
+    }
+
+    /// The statically-rejected jobs' labels and lint reports, in
+    /// submission order.
+    pub fn rejected(&self) -> Vec<(&str, &LintReport)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.result {
+                Err(JobError::Rejected(r)) => Some((o.label.as_str(), r)),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -269,6 +301,65 @@ impl Farm {
             outcomes,
             workers: report.1,
             wall: report.2,
+        }
+    }
+
+    /// [`Farm::run`] behind a static pre-screen: every job's schedule is
+    /// first linted against its plan's facts (`tve-lint`), and jobs with
+    /// error-severity diagnostics are **not simulated** — they come back
+    /// as [`JobError::Rejected`] outcomes carrying the full lint report
+    /// (zero wall time), still in submission order. Clean jobs are farmed
+    /// exactly as [`Farm::run`] would.
+    ///
+    /// Rejected jobs are counted ([`BatchReport::rejected_count`]) and
+    /// reported ([`BatchReport::rejected`]), never silently dropped; the
+    /// lint soundness contract guarantees a rejected job would have
+    /// failed (or mis-executed) dynamically anyway.
+    pub fn run_prescreened(&self, jobs: &[ScenarioJob]) -> BatchReport {
+        let started = Instant::now();
+        let reports: Vec<Option<LintReport>> = jobs
+            .iter()
+            .map(|job| {
+                let facts = soc_facts(&job.config, &job.plan);
+                let report = LintReport {
+                    subject: job.label.clone(),
+                    diagnostics: lint_schedule(&job.schedule, &facts),
+                };
+                (!report.clean()).then_some(report)
+            })
+            .collect();
+        let clean: Vec<ScenarioJob> = jobs
+            .iter()
+            .zip(&reports)
+            .filter(|(_, r)| r.is_none())
+            .map(|(j, _)| j.clone())
+            .collect();
+        let simulated = self.run(&clean);
+        let workers = simulated.workers;
+        let mut simulated = simulated.outcomes.into_iter();
+        let outcomes = reports
+            .into_iter()
+            .enumerate()
+            .map(|(index, report)| match report {
+                Some(report) => JobOutcome {
+                    index,
+                    label: jobs[index].label.clone(),
+                    wall: Duration::ZERO,
+                    result: Err(JobError::Rejected(report)),
+                },
+                None => {
+                    let mut outcome = simulated
+                        .next()
+                        .expect("one simulated outcome per clean job");
+                    outcome.index = index;
+                    outcome
+                }
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            workers,
+            wall: started.elapsed(),
         }
     }
 
@@ -471,6 +562,99 @@ mod tests {
             .tracks()
             .iter()
             .any(|t| t.starts_with(&format!("{first}/"))));
+    }
+
+    #[test]
+    fn prescreen_skips_statically_rejected_jobs() {
+        let mut jobs = mini_jobs();
+        // A structural defect and a resource race: neither must reach the
+        // simulator.
+        jobs[1].schedule = Schedule::new("broken (dup test)", vec![vec![0], vec![0]]);
+        jobs[1].label = jobs[1].schedule.name.clone();
+        jobs[2].schedule = Schedule::new("proc race", vec![vec![0, 1]]);
+        jobs[2].label = jobs[2].schedule.name.clone();
+        let report = Farm::with_workers(2).run_prescreened(&jobs);
+        assert_eq!(report.outcomes.len(), jobs.len());
+        assert_eq!(report.rejected_count(), 2);
+        let rejected = report.rejected();
+        assert_eq!(rejected[0].0, "broken (dup test)");
+        assert!(rejected[0].1.has("sched-dup-test"), "{:?}", rejected[0].1);
+        assert_eq!(rejected[1].0, "proc race");
+        assert!(rejected[1].1.has("res-core-race"), "{:?}", rejected[1].1);
+        // Rejected jobs cost no simulation time; clean jobs still succeed
+        // in submission order.
+        for (i, o) in report.outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+        }
+        assert_eq!(report.outcomes[1].wall, Duration::ZERO);
+        assert!(report.outcomes[0].result.is_ok());
+        assert!(report.outcomes[3].result.is_ok());
+    }
+
+    #[test]
+    fn prescreen_matches_plain_run_on_clean_batches() {
+        let jobs = mini_jobs();
+        let plain = Farm::with_workers(2).run(&jobs);
+        let screened = Farm::with_workers(2).run_prescreened(&jobs);
+        assert_eq!(screened.rejected_count(), 0);
+        assert!(screened.all_ok());
+        for (a, b) in plain.outcomes.iter().zip(&screened.outcomes) {
+            assert_eq!(a.expect_metrics().digest(), b.expect_metrics().digest());
+        }
+    }
+
+    #[test]
+    fn lint_facts_agree_with_the_scheduler_task_model() {
+        // Anti-drift: the lint crate's static facts and this crate's
+        // estimate_tasks() describe the same seven tests. If one model
+        // changes, this pins the other to follow.
+        use crate::estimate::estimate_tasks;
+        use crate::task::Resource;
+        let config = SocConfig::paper();
+        let plan = SocTestPlan::paper();
+        let tasks = estimate_tasks(&config, &plan);
+        let facts = soc_facts(&config, &plan);
+        assert_eq!(tasks.len(), facts.tests.len());
+        for (task, fact) in tasks.iter().zip(&facts.tests) {
+            assert_eq!(task.name, fact.name);
+            assert!(
+                (task.tam_share - fact.tam_share).abs() < 1e-9,
+                "{}: {} vs {}",
+                task.name,
+                task.tam_share,
+                fact.tam_share
+            );
+            assert!(
+                (f64::from(task.power) - fact.peak_power).abs() < 1e-9,
+                "{}: power",
+                task.name
+            );
+            // Core claims mirror the scheduler's exclusive resources
+            // (the serial channel is modeled as `TamChannel`, not a core).
+            let mut expect: Vec<&str> = task
+                .resources
+                .iter()
+                .filter_map(|r| match r {
+                    Resource::Processor => Some("processor"),
+                    Resource::ColorConversion => Some("color-conv"),
+                    Resource::Dct => Some("dct"),
+                    Resource::Memory => Some("memory"),
+                    Resource::Codec => Some("codec"),
+                    Resource::AteChannel => None,
+                })
+                .collect();
+            expect.sort_unstable();
+            let mut got = fact.cores.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect, "{}: cores", task.name);
+            let serial = task.resources.contains(&Resource::AteChannel);
+            assert_eq!(
+                fact.channel == tve_lint::TamChannel::Serial,
+                serial,
+                "{}: channel",
+                task.name
+            );
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # tve — Test Exploration and Validation using Transaction Level Models
@@ -18,6 +19,8 @@
 //! * [`core`] — the paper's contribution: TLMs of test infrastructure
 //!   (wrappers, TAMs, pattern sources, codecs, test controller, ATE),
 //! * [`soc`] — the JPEG encoder SoC case study of Section IV,
+//! * [`lint`] — static analysis of schedules and ATE programs:
+//!   diagnostics without simulation, sound against the dynamic layer,
 //! * [`sched`] — test scheduling and design-space exploration,
 //! * [`campaign`] — systematic fault-injection campaigns validating
 //!   every schedule against a fault population.
@@ -27,6 +30,7 @@
 
 pub use tve_campaign as campaign;
 pub use tve_core as core;
+pub use tve_lint as lint;
 pub use tve_memtest as memtest;
 pub use tve_netlist as netlist;
 pub use tve_noc as noc;

@@ -175,6 +175,42 @@ fn ring_breaks_and_tam_corruption_are_never_silent() {
 }
 
 #[test]
+fn prescreen_skips_defective_schedules_instead_of_panicking() {
+    // A duplicate-test schedule would panic the golden baseline; with the
+    // static pre-screen it runs zero simulations and is reported instead.
+    let fault = FaultSpec::ScanCell {
+        core: WrappedCore::Processor,
+        cell: StuckCell {
+            chain: 0,
+            position: 1,
+            value: true,
+        },
+    };
+    let mut schedules = paper_schedules().to_vec();
+    schedules.push(tve::core::Schedule::new(
+        "defective (dup)",
+        vec![vec![0], vec![0]],
+    ));
+    let mut config = CampaignConfig::new(small_soc(), SocTestPlan::small(), schedules, vec![fault])
+        .with_prescreen();
+    config.diagnosis = false;
+    let report = run_campaign(&config, &Farm::with_workers(2));
+    // The defective schedule is gone from the matrix but named in the
+    // report, with the diagnostic code that condemned it.
+    assert_eq!(report.schedules.len(), 4);
+    assert_eq!(report.cells.len(), 4, "one cell per surviving schedule");
+    assert_eq!(report.prescreened.len(), 1);
+    assert_eq!(report.prescreened[0].schedule, "defective (dup)");
+    assert_eq!(report.prescreened[0].codes, vec!["sched-dup-test"]);
+    let json = report.to_json();
+    assert!(
+        json.contains("defective (dup)"),
+        "prescreen missing in JSON"
+    );
+    tve::obs::check_json(&json).expect("campaign JSON is well-formed");
+}
+
+#[test]
 fn scan_fault_detection_latency_is_plausible() {
     // A processor scan fault is caught by T1 (the first proc test in
     // every schedule), so its detection latency must be well below the

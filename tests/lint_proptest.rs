@@ -1,0 +1,119 @@
+//! Property-based half of the lint contract: random mutations of valid
+//! schedules must be flagged with the right diagnostic code, while
+//! behavior-preserving rewrites (and the unmutated schedules themselves)
+//! must stay lint-clean. Complements `tests/lint_contract.rs`, which
+//! pins the static/dynamic agreement on concrete populations.
+
+use proptest::prelude::*;
+
+use tve::core::{Schedule, ScheduleError};
+use tve::lint::{codes, lint_schedule, lint_schedule_report, soc_facts, Severity};
+use tve::soc::{paper_schedules, SocConfig, SocTestPlan};
+
+fn facts() -> tve::lint::PlanFacts {
+    soc_facts(&SocConfig::small(), &SocTestPlan::small())
+}
+
+fn pick_paper(idx: usize) -> Schedule {
+    let mut all = paper_schedules();
+    all.swap(0, idx);
+    all.into_iter().next().unwrap()
+}
+
+fn has_error(diags: &[tve::lint::Diagnostic], code: &str) -> bool {
+    diags
+        .iter()
+        .any(|d| d.code == code && d.severity == Severity::Error)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Baseline: every unmutated Table-I schedule is error-free.
+    #[test]
+    fn paper_schedules_lint_clean(idx in 0usize..4) {
+        let report = lint_schedule_report(&pick_paper(idx), &facts());
+        prop_assert!(report.clean(), "{report}");
+    }
+
+    // Duplicating any already-scheduled test is caught as sched-dup-test.
+    #[test]
+    fn duplicated_test_is_flagged(idx in 0usize..4, pos in 0usize..7) {
+        let mut s = pick_paper(idx);
+        let flat: Vec<usize> = s.phases.iter().flatten().copied().collect();
+        let dup = flat[pos % flat.len()];
+        s.phases.push(vec![dup]);
+        let code = ScheduleError::DuplicateTest(dup).code();
+        prop_assert!(has_error(&lint_schedule(&s, &facts()), code));
+    }
+
+    // Referencing a test index past the plan is caught as sched-index-range.
+    #[test]
+    fn out_of_range_index_is_flagged(idx in 0usize..4, extra in 7usize..64) {
+        let mut s = pick_paper(idx);
+        s.phases.push(vec![extra]);
+        let code = ScheduleError::IndexOutOfRange(extra).code();
+        prop_assert!(has_error(&lint_schedule(&s, &facts()), code));
+    }
+
+    // Inserting an empty phase anywhere is caught as sched-empty-phase.
+    #[test]
+    fn inserted_empty_phase_is_flagged(idx in 0usize..4, at in 0usize..8) {
+        let mut s = pick_paper(idx);
+        let at = at % (s.phases.len() + 1);
+        s.phases.insert(at, vec![]);
+        prop_assert!(has_error(&lint_schedule(&s, &facts()), ScheduleError::EmptyPhase.code()));
+    }
+
+    // Deleting every phase is caught as sched-empty.
+    #[test]
+    fn emptied_schedule_is_flagged(idx in 0usize..4) {
+        let mut s = pick_paper(idx);
+        s.phases.clear();
+        prop_assert!(has_error(&lint_schedule(&s, &facts()), ScheduleError::Empty.code()));
+    }
+
+    // Merging the first two phases of a Table-I schedule always collides:
+    // each opens with two processor tests that the paper's phase breaks
+    // exist precisely to serialize.
+    #[test]
+    fn merged_leading_phases_race(idx in 0usize..4) {
+        let mut s = pick_paper(idx);
+        let tail = s.phases.remove(1);
+        s.phases[0].extend(tail);
+        let diags = lint_schedule(&s, &facts());
+        prop_assert!(has_error(&diags, codes::CORE_RACE), "merge undetected: {diags:?}");
+    }
+
+    // A power budget below the hottest phase is flagged; one at or above
+    // the whole plan's ceiling never is.
+    #[test]
+    fn power_budget_flags_exactly_the_overcommit(idx in 0usize..4, pct in 10u64..300) {
+        let s = pick_paper(idx);
+        let base = facts();
+        let hottest: f64 = s
+            .phases
+            .iter()
+            .map(|p| p.iter().map(|&t| base.tests[t].peak_power).sum::<f64>())
+            .fold(0.0, f64::max);
+        let budget = hottest * (pct as f64) / 100.0;
+        let diags = lint_schedule(&s, &base.with_budget(budget));
+        let flagged = has_error(&diags, codes::POWER_OVERCOMMIT);
+        prop_assert_eq!(flagged, budget < hottest - 1e-9, "budget {} vs hottest {}", budget, hottest);
+    }
+
+    // Swapping whole phases is behavior-preserving for these schedules
+    // (no cross-phase ring hazards in the plan): still error-free.
+    #[test]
+    fn phase_swap_preserves_cleanliness(
+        idx in 0usize..4,
+        a in 0usize..8,
+        b in 0usize..8,
+    ) {
+        let mut s = pick_paper(idx);
+        let n = s.phases.len();
+        s.phases.swap(a % n, b % n);
+        let report = lint_schedule_report(&s, &facts());
+        prop_assert!(report.clean(), "{report}");
+    }
+}
