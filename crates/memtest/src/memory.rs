@@ -280,6 +280,11 @@ impl MemoryArray {
     /// Panics if `addr` is out of range.
     pub fn write(&mut self, addr: u32, value: u32) {
         self.writes += 1;
+        // Fault-free fast path: no aliasing, no bit effects, no coupling.
+        if self.faults.is_empty() {
+            self.words[addr as usize] = value;
+            return;
+        }
         // Address aliasing: collect every physical word this write reaches.
         let mut targets = vec![addr];
         for f in &self.faults {

@@ -5,28 +5,30 @@ use std::cell::RefCell;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
-use std::task::{Context, Poll, Waker};
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll};
 
-use crate::executor::TimerAction;
+use crate::executor::{register_waiter, wake_waiters, Kernel, TimerFire, Waiter};
 use crate::{Duration, SimHandle, Time};
 
 pub(crate) struct EventState {
     epoch: u64,
-    waiters: Vec<Waker>,
+    /// Registered waiters — packed arena task ids on the fast path, so a
+    /// wait costs one `Vec` push and a notification is a ready-queue
+    /// link per waiter (no `Waker` clones, no allocation).
+    waiters: Vec<Waiter>,
+    kernel: Weak<Kernel>,
 }
 
 impl EventState {
     /// Bumps the epoch and wakes all registered waiters.
     pub(crate) fn fire(state: &Rc<RefCell<EventState>>) {
-        let waiters = {
+        let (waiters, kernel) = {
             let mut s = state.borrow_mut();
             s.epoch += 1;
-            std::mem::take(&mut s.waiters)
+            (std::mem::take(&mut s.waiters), s.kernel.clone())
         };
-        for w in waiters {
-            w.wake();
-        }
+        wake_waiters(waiters, &kernel);
     }
 }
 
@@ -77,6 +79,7 @@ impl Event {
             state: Rc::new(RefCell::new(EventState {
                 epoch: 0,
                 waiters: Vec::new(),
+                kernel: Rc::downgrade(&handle.kernel),
             })),
             handle: handle.clone(),
         }
@@ -99,7 +102,7 @@ impl Event {
     pub fn notify_at(&self, t: Time) {
         self.handle
             .kernel
-            .schedule(t.cycles(), TimerAction::Notify(Rc::downgrade(&self.state)));
+            .schedule(t.cycles(), TimerFire::Notify(Rc::downgrade(&self.state)));
     }
 
     /// Waits for the next notification.
@@ -133,17 +136,18 @@ impl Future for EventWait {
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         let state = Rc::clone(&self.state);
         let mut s = state.borrow_mut();
+        let kernel = s.kernel.clone();
         match self.observed {
             Some(e) if s.epoch > e => Poll::Ready(()),
             Some(_) => {
-                // Spurious wake: re-register (our waker was consumed by the
-                // wake that got us here).
-                s.waiters.push(cx.waker().clone());
+                // Spurious wake: re-register (our registration was consumed
+                // by the wake that got us here).
+                register_waiter(&mut s.waiters, &kernel, cx);
                 Poll::Pending
             }
             None => {
                 self.observed = Some(s.epoch);
-                s.waiters.push(cx.waker().clone());
+                register_waiter(&mut s.waiters, &kernel, cx);
                 Poll::Pending
             }
         }

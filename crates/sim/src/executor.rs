@@ -1,21 +1,40 @@
 //! The event-driven executor: task spawning, timed wakeups, and the
 //! simulation run loop.
+//!
+//! # Kernel architecture
+//!
+//! Tasks live in a slab arena ([`crate::arena::TaskArena`]): a `Vec` of
+//! generation-checked slots with an intrusive FIFO ready queue, so
+//! spawning reuses slots and waking a task is a handful of index writes —
+//! no per-wake allocation, no hashing. Timers are bucketed by timestamp
+//! in a `BTreeMap<u64, Vec<TimerFire>>`: advancing time removes one
+//! bucket and fires every same-timestamp wakeup in a single batch,
+//! instead of one heap pop per entry. Wakeups carry packed
+//! [`TaskId`](crate::arena::TaskId)s rather than cloned `Waker`s; the
+//! `Waker` machinery remains only as a fallback for foreign futures.
+//!
+//! An opt-in *loosely-timed* mode ([`Simulation::with_quantum`])
+//! temporally decouples tasks: relative waits accumulate into a per-task
+//! local-time offset and only synchronize with the global event queue at
+//! quantum boundaries, the TLM-2.0 trade of timing fidelity for speed.
+//! The default (quantum 0) mode is cycle-accurate and byte-identical to
+//! the pre-arena kernel (see `tests/kernel_digests.rs`).
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+use crate::arena::{LocalFuture, TaskArena, TaskId};
 use crate::event::EventState;
 use crate::time::{Duration, Time};
-
-type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
 /// Identifier of a spawned process, usable for debugging and diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -27,95 +46,104 @@ impl fmt::Display for SpawnId {
     }
 }
 
+/// Packed id meaning "no current task".
+const NO_TASK: u64 = u64::MAX;
+
 /// What a timer does when it fires.
-pub(crate) enum TimerAction {
-    /// Wake a single suspended task.
-    Wake(Waker),
+pub(crate) enum TimerFire {
+    /// Wake the task with this packed [`TaskId`] (stale ids are inert).
+    Task(u64),
     /// Fire a timed [`Event`](crate::Event) notification.
     Notify(std::rc::Weak<RefCell<EventState>>),
+    /// Wake a foreign future's waker (fallback path).
+    Waker(Waker),
 }
 
-struct TimerEntry {
-    time: u64,
-    seq: u64,
-    action: TimerAction,
+/// The `Waker`-fallback side queue: wakes arriving through foreign
+/// futures' cloned `Waker`s land here. The atomic flag lets the (hot)
+/// kernel poll loop skip the mutex entirely while the queue is empty.
+struct ExtQueue {
+    nonempty: AtomicBool,
+    queue: Mutex<Vec<u64>>,
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    // Reversed so that `BinaryHeap` (a max-heap) pops the earliest
-    // `(time, seq)` first.
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
+/// `Waker` fallback for foreign futures: pushes the packed task id onto a
+/// thread-safe side queue the kernel drains between polls. Kernel-owned
+/// futures ([`Wait`], event and queue waits, [`JoinHandle`]) bypass this
+/// entirely and register packed ids directly.
 struct TaskWaker {
-    id: u64,
-    ready: Arc<Mutex<Vec<u64>>>,
+    packed: u64,
+    ext: Arc<ExtQueue>,
 }
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.ready
-            .lock()
-            .expect("waker list poisoned")
-            .push(self.id);
+        self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.ready
+        self.ext
+            .queue
             .lock()
-            .expect("waker list poisoned")
-            .push(self.id);
+            .expect("external wake queue poisoned")
+            .push(self.packed);
+        self.ext.nonempty.store(true, Ordering::Release);
     }
-}
-
-struct TaskSlot {
-    future: LocalFuture,
-    waker: Waker,
 }
 
 /// Kernel state shared between the [`Simulation`] driver, [`SimHandle`]s and
 /// suspended futures.
 pub(crate) struct Kernel {
     now: Cell<u64>,
-    seq: Cell<u64>,
     spawn_seq: Cell<u64>,
     polls: Cell<u64>,
     timers_fired: Cell<u64>,
-    timers: RefCell<BinaryHeap<TimerEntry>>,
-    /// Shared with wakers (which must be `Send + Sync`); the simulation
-    /// itself is single-threaded.
-    ready: Arc<Mutex<Vec<u64>>>,
-    tasks: RefCell<HashMap<u64, TaskSlot>>,
-    pending_spawn: RefCell<Vec<(u64, LocalFuture)>>,
+    sync_points: Cell<u64>,
+    /// Pending timers bucketed by absolute firing time; within a bucket,
+    /// entries fire in scheduling order (the old `(time, seq)` order).
+    timers: RefCell<BTreeMap<u64, Vec<TimerFire>>>,
+    /// Recycled bucket storage, so steady-state scheduling does not
+    /// allocate a fresh `Vec` per distinct timestamp.
+    bucket_pool: RefCell<Vec<Vec<TimerFire>>>,
+    arena: RefCell<TaskArena>,
+    /// Packed id of the task currently being polled ([`NO_TASK`] outside
+    /// polls); how kernel futures find their owner without a `Waker`.
+    current: Cell<u64>,
+    /// The current task's loosely-timed local offset, cached here for the
+    /// duration of its poll so the quantum fast path never touches the
+    /// arena. Written back to the slot when the poll suspends. Only
+    /// meaningful while `current != NO_TASK` and `quantum != 0`.
+    current_off: Cell<u64>,
+    pending_spawn: RefCell<Vec<LocalFuture>>,
+    /// Side queue for wakes arriving through the `Waker` fallback
+    /// (foreign futures); shared with wakers, which must be `Send + Sync`.
+    ext: Arc<ExtQueue>,
+    /// Loosely-timed quantum in cycles; 0 = cycle-accurate mode.
+    quantum: Cell<u64>,
+    /// Testing knob: max timers fired per batch before re-entering the
+    /// poll loop (`usize::MAX` = drain whole bucket).
+    batch_limit: Cell<usize>,
 }
 
 impl Kernel {
     fn new() -> Rc<Kernel> {
         Rc::new(Kernel {
             now: Cell::new(0),
-            seq: Cell::new(0),
             spawn_seq: Cell::new(0),
             polls: Cell::new(0),
             timers_fired: Cell::new(0),
-            timers: RefCell::new(BinaryHeap::new()),
-            ready: Arc::new(Mutex::new(Vec::new())),
-            tasks: RefCell::new(HashMap::new()),
+            sync_points: Cell::new(0),
+            timers: RefCell::new(BTreeMap::new()),
+            bucket_pool: RefCell::new(Vec::new()),
+            arena: RefCell::new(TaskArena::new()),
+            current: Cell::new(NO_TASK),
+            current_off: Cell::new(0),
             pending_spawn: RefCell::new(Vec::new()),
+            ext: Arc::new(ExtQueue {
+                nonempty: AtomicBool::new(false),
+                queue: Mutex::new(Vec::new()),
+            }),
+            quantum: Cell::new(0),
+            batch_limit: Cell::new(usize::MAX),
         })
     }
 
@@ -123,113 +151,217 @@ impl Kernel {
         self.now.get()
     }
 
-    fn next_seq(&self) -> u64 {
-        let s = self.seq.get();
-        self.seq.set(s + 1);
-        s
+    /// The task currently being polled, if any.
+    pub(crate) fn current_task(&self) -> Option<TaskId> {
+        let packed = self.current.get();
+        (packed != NO_TASK).then(|| TaskId::unpack(packed))
     }
 
-    /// Schedules `action` to fire at absolute cycle `time` (clamped to now).
-    pub(crate) fn schedule(&self, time: u64, action: TimerAction) {
+    /// The loosely-timed quantum (0 in accurate mode).
+    pub(crate) fn quantum(&self) -> u64 {
+        self.quantum.get()
+    }
+
+    /// Current task's local-time offset ahead of global time (always 0 in
+    /// accurate mode).
+    pub(crate) fn current_offset(&self) -> u64 {
+        if self.quantum.get() == 0 || self.current.get() == NO_TASK {
+            return 0;
+        }
+        self.current_off.get()
+    }
+
+    pub(crate) fn set_current_offset(&self, off: u64) {
+        if self.current.get() != NO_TASK {
+            self.current_off.set(off);
+        }
+    }
+
+    /// One-pass fits-and-absorb for [`SimHandle::try_local_wait`]: checks
+    /// and consumes the offset in a single walk over the cells.
+    pub(crate) fn absorb_local(&self, d: u64) -> bool {
+        let q = self.quantum.get();
+        if q == 0 || d == 0 || self.current.get() == NO_TASK {
+            return false;
+        }
+        let off = self.current_off.get().saturating_add(d);
+        if off >= q {
+            return false;
+        }
+        self.current_off.set(off);
+        true
+    }
+
+    /// Schedules `fire` at absolute cycle `time` (clamped to now).
+    pub(crate) fn schedule(&self, time: u64, fire: TimerFire) {
         let time = time.max(self.now.get());
-        let seq = self.next_seq();
-        self.timers
-            .borrow_mut()
-            .push(TimerEntry { time, seq, action });
+        let mut timers = self.timers.borrow_mut();
+        timers
+            .entry(time)
+            .or_insert_with(|| self.bucket_pool.borrow_mut().pop().unwrap_or_default())
+            .push(fire);
+    }
+
+    /// Marks the task behind `packed` runnable (stale ids are inert).
+    pub(crate) fn wake_packed(&self, packed: u64) {
+        self.arena.borrow_mut().enqueue(TaskId::unpack(packed));
     }
 
     fn spawn_raw(&self, future: LocalFuture) -> u64 {
         let id = self.spawn_seq.get();
         self.spawn_seq.set(id + 1);
-        self.pending_spawn.borrow_mut().push((id, future));
+        self.pending_spawn.borrow_mut().push(future);
         id
     }
 
-    /// Moves freshly spawned tasks into the task table and marks them ready.
+    /// Moves freshly spawned tasks into the arena and marks them ready.
+    ///
+    /// Spawns are deferred until after the spawning poll completes (the
+    /// pre-arena kernel did the same), so wakes issued *during* a poll
+    /// enter the ready queue ahead of tasks spawned by that poll,
+    /// whatever their program order.
     fn install_spawned(&self) {
-        let spawned: Vec<_> = self.pending_spawn.borrow_mut().drain(..).collect();
-        for (id, future) in spawned {
-            let waker = Waker::from(Arc::new(TaskWaker {
-                id,
-                ready: Arc::clone(&self.ready),
-            }));
-            self.tasks
-                .borrow_mut()
-                .insert(id, TaskSlot { future, waker });
-            self.ready.lock().expect("waker list poisoned").push(id);
+        loop {
+            // Take one batch at a time: a spawned task's body runs only
+            // when polled, so no re-entrancy — but keep the borrow short.
+            if self.pending_spawn.borrow().is_empty() {
+                return;
+            }
+            let spawned: Vec<_> = self.pending_spawn.borrow_mut().drain(..).collect();
+            if spawned.is_empty() {
+                return;
+            }
+            let mut arena = self.arena.borrow_mut();
+            for future in spawned {
+                let id = arena.insert(future);
+                arena.enqueue(id);
+            }
+        }
+    }
+
+    /// Drains the `Waker`-fallback side queue into the ready queue.
+    fn drain_external(&self) {
+        if !self.ext.nonempty.swap(false, Ordering::Acquire) {
+            return;
+        }
+        let mut ext = self.ext.queue.lock().expect("external wake queue poisoned");
+        let mut arena = self.arena.borrow_mut();
+        for packed in ext.drain(..) {
+            arena.enqueue(TaskId::unpack(packed));
         }
     }
 
     /// Polls one task; returns `true` if it completed.
-    fn poll_task(&self, id: u64) -> bool {
-        // Take the task out of the table so its body may freely spawn or
-        // inspect the kernel without re-entrant borrows of `tasks`.
-        let Some(mut slot) = self.tasks.borrow_mut().remove(&id) else {
+    fn poll_task(&self, id: TaskId) -> bool {
+        // Check the future out of the arena so the task body may freely
+        // spawn, wake and schedule without re-entrant borrows.
+        let checked_out = self.arena.borrow_mut().checkout(id, || {
+            Waker::from(Arc::new(TaskWaker {
+                packed: id.pack(),
+                ext: Arc::clone(&self.ext),
+            }))
+        });
+        let Some((mut future, waker)) = checked_out else {
             return false; // already completed; stale wakeup
         };
         self.polls.set(self.polls.get() + 1);
-        let waker = slot.waker.clone();
+        let lt = self.quantum.get() != 0;
+        let prev = self.current.replace(id.pack());
+        let prev_off = self.current_off.replace(if lt {
+            self.arena.borrow().local_offset(id)
+        } else {
+            0
+        });
         let mut cx = Context::from_waker(&waker);
-        match slot.future.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => true,
-            Poll::Pending => {
-                self.tasks.borrow_mut().insert(id, slot);
+        let poll = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            future.as_mut().poll(&mut cx)
+        }));
+        self.current.set(prev);
+        let off = self.current_off.replace(prev_off);
+        match poll {
+            Ok(Poll::Ready(())) => {
+                self.arena.borrow_mut().remove(id);
+                true
+            }
+            Ok(Poll::Pending) => {
+                let mut arena = self.arena.borrow_mut();
+                if lt {
+                    arena.set_local_offset(id, off);
+                }
+                arena.put_back(id, future, waker);
                 false
+            }
+            Err(payload) => {
+                // A panicking process is a model bug; retire the task so
+                // the kernel stays consistent, then resume unwinding.
+                self.arena.borrow_mut().remove(id);
+                std::panic::resume_unwind(payload);
             }
         }
     }
 
+    /// Runs every runnable task to quiescence at the current time.
     fn drain_ready(&self) {
         loop {
             self.install_spawned();
-            let batch: Vec<u64> =
-                std::mem::take(&mut *self.ready.lock().expect("waker list poisoned"));
-            if batch.is_empty() {
+            self.drain_external();
+            let Some(id) = self.arena.borrow_mut().pop_ready() else {
                 break;
-            }
-            for id in batch {
-                self.poll_task(id);
-                self.install_spawned();
-            }
+            };
+            self.poll_task(id);
         }
     }
 
-    /// Advances time to the earliest pending timer not beyond `horizon` and
-    /// fires every timer scheduled for that instant. Returns `false` when no
-    /// eligible timer exists.
+    /// Advances time to the earliest pending timer not beyond `horizon`
+    /// and fires every timer scheduled for that instant in one batch.
+    /// Returns `false` when no eligible timer exists.
     fn advance(&self, horizon: u64) -> bool {
-        let next = match self.timers.borrow().peek() {
-            Some(e) => e.time,
+        let next = match self.timers.borrow().keys().next() {
+            Some(&t) => t,
             None => return false,
         };
         if next > horizon {
             return false;
         }
         self.now.set(next);
+        let limit = self.batch_limit.get();
+        // Loop: firing can (via `schedule` clamping to now) append new
+        // entries at this same timestamp; they belong to this instant.
         loop {
-            let fire = {
-                let mut timers = self.timers.borrow_mut();
-                match timers.peek() {
-                    Some(e) if e.time == next => timers.pop(),
-                    _ => None,
-                }
+            let Some(mut bucket) = self.timers.borrow_mut().remove(&next) else {
+                break;
             };
-            let Some(entry) = fire else { break };
-            self.timers_fired.set(self.timers_fired.get() + 1);
-            match entry.action {
-                TimerAction::Wake(w) => w.wake(),
-                TimerAction::Notify(state) => {
-                    if let Some(state) = state.upgrade() {
-                        EventState::fire(&state);
+            if bucket.len() > limit {
+                // Testing knob: re-insert the tail and fire only `limit`
+                // entries this round.
+                let rest = bucket.split_off(limit);
+                self.timers.borrow_mut().insert(next, rest);
+            }
+            self.timers_fired
+                .set(self.timers_fired.get() + bucket.len() as u64);
+            for fire in bucket.drain(..) {
+                match fire {
+                    TimerFire::Task(packed) => self.wake_packed(packed),
+                    TimerFire::Notify(state) => {
+                        if let Some(state) = state.upgrade() {
+                            EventState::fire(&state);
+                        }
                     }
+                    TimerFire::Waker(w) => w.wake(),
                 }
+            }
+            self.bucket_pool.borrow_mut().push(bucket);
+            if limit != usize::MAX {
+                // With a batch limit, yield back to the poll loop after
+                // each partial batch.
+                break;
             }
         }
         true
     }
 
     fn live_tasks(&self) -> usize {
-        self.tasks.borrow().len() + self.pending_spawn.borrow().len()
+        self.arena.borrow().live() + self.pending_spawn.borrow().len()
     }
 }
 
@@ -253,27 +385,116 @@ impl fmt::Debug for SimHandle {
 
 impl SimHandle {
     /// The current simulated time.
+    ///
+    /// In loosely-timed mode this is the calling task's *local* time:
+    /// global kernel time plus the task's accumulated quantum offset.
     pub fn now(&self) -> Time {
-        Time::from_cycles(self.kernel.now())
+        Time::from_cycles(
+            self.kernel
+                .now()
+                .saturating_add(self.kernel.current_offset()),
+        )
     }
 
     /// Suspends the calling process for `d` cycles.
     ///
     /// A zero-length wait is a *delta wait*: the process yields and resumes
     /// at the same simulated time after other runnable processes have run.
+    ///
+    /// In loosely-timed mode ([`Simulation::with_quantum`]) a nonzero wait
+    /// accumulates into the task's local-time offset and returns
+    /// *without suspending* until the offset reaches the quantum; only
+    /// then does the task synchronize with the global event queue. Zero
+    /// waits always yield, so delta-cycle cooperation keeps working.
     pub fn wait(&self, d: Duration) -> Wait {
-        self.wait_until(Time::from_cycles(
-            self.kernel.now().saturating_add(d.as_cycles()),
-        ))
+        let k = &self.kernel;
+        let q = k.quantum();
+        let d = d.as_cycles();
+        if q > 0 && d > 0 && k.current_task().is_some() {
+            let off = k.current_offset().saturating_add(d);
+            if off < q {
+                // Run ahead without synchronizing.
+                k.set_current_offset(off);
+                return Wait {
+                    kernel: Rc::clone(k),
+                    deadline: 0,
+                    state: WaitState::Elapsed,
+                };
+            }
+            // Quantum boundary: flush the offset into a real wakeup.
+            k.set_current_offset(0);
+            k.sync_points.set(k.sync_points.get() + 1);
+            return Wait {
+                kernel: Rc::clone(k),
+                deadline: k.now().saturating_add(off),
+                state: WaitState::Init,
+            };
+        }
+        self.wait_until(Time::from_cycles(k.now().saturating_add(d)))
     }
 
     /// Suspends the calling process until absolute time `t` (immediately
     /// resumes via a delta cycle if `t` is not in the future).
+    ///
+    /// In loosely-timed mode this is always a synchronization point: the
+    /// task's local-time offset is flushed (the wakeup is scheduled at
+    /// `max(t, local now)`) and reset to zero.
     pub fn wait_until(&self, t: Time) -> Wait {
+        let k = &self.kernel;
+        let mut deadline = t.cycles();
+        if k.quantum() > 0 {
+            let local = k.now().saturating_add(k.current_offset());
+            deadline = deadline.max(local);
+            k.set_current_offset(0);
+        }
         Wait {
-            kernel: Rc::clone(&self.kernel),
-            deadline: t.cycles(),
-            registered: false,
+            kernel: Rc::clone(k),
+            deadline,
+            state: WaitState::Init,
+        }
+    }
+
+    /// Whether a [`SimHandle::wait`] of `d` by the calling process would be
+    /// absorbed into its loosely-timed local-time offset without suspending.
+    ///
+    /// Always `false` in the default accurate mode, for a zero-length wait,
+    /// or when the offset would reach the quantum. Transaction-level models
+    /// use this (with [`SimHandle::try_local_wait`]) to bypass their
+    /// suspension machinery entirely for intra-quantum accesses.
+    pub fn local_wait_fits(&self, d: Duration) -> bool {
+        let k = &self.kernel;
+        let q = k.quantum();
+        let d = d.as_cycles();
+        q > 0 && d > 0 && k.current_task().is_some() && k.current_offset().saturating_add(d) < q
+    }
+
+    /// Absorbs `d` into the calling task's local-time offset without
+    /// suspending, if it fits ([`SimHandle::local_wait_fits`]); returns
+    /// whether it did. On `false` nothing happened — take the ordinary
+    /// `wait(d).await` path instead.
+    pub fn try_local_wait(&self, d: Duration) -> bool {
+        self.kernel.absorb_local(d.as_cycles())
+    }
+
+    /// Whether loosely-timed quantum mode is active — the cheapest
+    /// possible "could a local wait ever fit" gate, for hot paths that
+    /// want to decline early in accurate mode before computing a
+    /// duration at all.
+    pub fn lt_active(&self) -> bool {
+        self.kernel.quantum() != 0
+    }
+
+    /// Gives back `d` cycles just absorbed with
+    /// [`SimHandle::try_local_wait`], restoring the task's local-time
+    /// offset. For all-or-nothing composition of synchronous fast paths:
+    /// a channel may absorb its occupancy before probing a downstream
+    /// component, then refund it if that component declines. Only valid
+    /// with no intervening waits by the same task.
+    pub fn local_wait_undo(&self, d: Duration) {
+        let k = &self.kernel;
+        if k.current.get() != NO_TASK {
+            k.current_off
+                .set(k.current_off.get().saturating_sub(d.as_cycles()));
         }
     }
 
@@ -287,16 +508,18 @@ impl SimHandle {
             result: None,
             finished: false,
             waiters: Vec::new(),
+            kernel: Rc::downgrade(&self.kernel),
         }));
         let state2 = Rc::clone(&state);
         let id = self.kernel.spawn_raw(Box::pin(async move {
             let out = future.await;
-            let mut s = state2.borrow_mut();
-            s.result = Some(out);
-            s.finished = true;
-            for w in s.waiters.drain(..) {
-                w.wake();
-            }
+            let (waiters, kernel) = {
+                let mut s = state2.borrow_mut();
+                s.result = Some(out);
+                s.finished = true;
+                (std::mem::take(&mut s.waiters), s.kernel.clone())
+            };
+            wake_waiters(waiters, &kernel);
         }));
         JoinHandle {
             id: SpawnId(id),
@@ -305,30 +528,79 @@ impl SimHandle {
     }
 }
 
+/// A registered waiter: a kernel task (the fast path) or a foreign
+/// future's waker.
+pub(crate) enum Waiter {
+    Task(u64),
+    Ext(Waker),
+}
+
+/// Registers the current task (or, outside the kernel, `cx`'s waker) in
+/// `waiters` — the common suspend path of every kernel primitive.
+pub(crate) fn register_waiter(waiters: &mut Vec<Waiter>, kernel: &Weak<Kernel>, cx: &Context<'_>) {
+    let current = kernel.upgrade().and_then(|k| k.current_task());
+    match current {
+        Some(id) => waiters.push(Waiter::Task(id.pack())),
+        None => waiters.push(Waiter::Ext(cx.waker().clone())),
+    }
+}
+
+/// Wakes every registered waiter, in registration order.
+pub(crate) fn wake_waiters(waiters: Vec<Waiter>, kernel: &Weak<Kernel>) {
+    let kernel = kernel.upgrade();
+    for w in waiters {
+        match w {
+            Waiter::Task(packed) => {
+                if let Some(k) = &kernel {
+                    k.wake_packed(packed);
+                }
+            }
+            Waiter::Ext(w) => w.wake(),
+        }
+    }
+}
+
+enum WaitState {
+    /// Timer not yet registered.
+    Init,
+    /// Timer registered; waiting for the deadline.
+    Registered,
+    /// Loosely-timed fast path: the wait was absorbed into the task's
+    /// local offset and completes on first poll.
+    Elapsed,
+}
+
 /// Future returned by [`SimHandle::wait`] / [`SimHandle::wait_until`].
 #[must_use = "futures do nothing unless awaited"]
 pub struct Wait {
     kernel: Rc<Kernel>,
     deadline: u64,
-    registered: bool,
+    state: WaitState,
 }
 
 impl Future for Wait {
     type Output = ();
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.registered {
-            if self.kernel.now() >= self.deadline {
-                Poll::Ready(())
-            } else {
-                // Spurious wake before the deadline: our timer is still
-                // pending and will wake us again.
+        match self.state {
+            WaitState::Elapsed => Poll::Ready(()),
+            WaitState::Registered => {
+                if self.kernel.now() >= self.deadline {
+                    Poll::Ready(())
+                } else {
+                    // Spurious wake before the deadline: our timer is still
+                    // pending and will wake us again.
+                    Poll::Pending
+                }
+            }
+            WaitState::Init => {
+                self.state = WaitState::Registered;
+                let fire = match self.kernel.current_task() {
+                    Some(id) => TimerFire::Task(id.pack()),
+                    None => TimerFire::Waker(cx.waker().clone()),
+                };
+                self.kernel.schedule(self.deadline, fire);
                 Poll::Pending
             }
-        } else {
-            self.registered = true;
-            self.kernel
-                .schedule(self.deadline, TimerAction::Wake(cx.waker().clone()));
-            Poll::Pending
         }
     }
 }
@@ -336,7 +608,8 @@ impl Future for Wait {
 struct JoinState<T> {
     result: Option<T>,
     finished: bool,
-    waiters: Vec<Waker>,
+    waiters: Vec<Waiter>,
+    kernel: Weak<Kernel>,
 }
 
 /// Handle to a spawned process; awaiting it yields the process output.
@@ -389,7 +662,8 @@ impl<T> Future for JoinHandle<T> {
                 None => panic!("JoinHandle polled after its output was taken"),
             }
         } else {
-            s.waiters.push(cx.waker().clone());
+            let kernel = s.kernel.clone();
+            register_waiter(&mut s.waiters, &kernel, cx);
             Poll::Pending
         }
     }
@@ -426,6 +700,7 @@ impl fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("now", &self.kernel.now())
             .field("live_tasks", &self.kernel.live_tasks())
+            .field("quantum", &self.kernel.quantum())
             .finish()
     }
 }
@@ -437,11 +712,59 @@ impl Default for Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation at time zero.
+    /// Creates an empty cycle-accurate simulation at time zero.
     pub fn new() -> Self {
         Simulation {
             kernel: Kernel::new(),
         }
+    }
+
+    /// Creates a *loosely-timed* simulation with the given quantum.
+    ///
+    /// Tasks run temporally decoupled: relative waits accrue into a
+    /// per-task local-time offset and only synchronize with the event
+    /// queue when the offset reaches `quantum` (or at an explicit
+    /// [`SimHandle::wait_until`] / zero-length wait). This trades intra-
+    /// quantum event ordering — and therefore exact digests — for speed;
+    /// results are still deterministic for a fixed quantum. A zero
+    /// quantum is the accurate mode of [`Simulation::new`].
+    pub fn with_quantum(quantum: Duration) -> Self {
+        let sim = Simulation::new();
+        sim.kernel.quantum.set(quantum.as_cycles());
+        sim
+    }
+
+    /// Creates a simulation whose mode comes from the `TVE_QUANTUM`
+    /// environment variable: unset, empty or `0` means cycle-accurate;
+    /// any other integer is the loosely-timed quantum in cycles.
+    ///
+    /// Shipped scenario runners build their simulators through this, so
+    /// whole benchmark harnesses can be switched to loosely-timed mode
+    /// without threading a parameter through every layer (the same idiom
+    /// as `TVE_JOBS` for the farm).
+    pub fn from_env() -> Self {
+        let quantum = std::env::var("TVE_QUANTUM")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        Simulation::with_quantum(Duration::cycles(quantum))
+    }
+
+    /// The loosely-timed quantum, or `None` in cycle-accurate mode.
+    pub fn quantum(&self) -> Option<Duration> {
+        match self.kernel.quantum() {
+            0 => None,
+            q => Some(Duration::cycles(q)),
+        }
+    }
+
+    /// Testing/diagnostic knob: fire at most `limit` same-timestamp
+    /// timers per batch before re-running ready tasks. Semantically
+    /// inert — `tests/kernel_batch_prop.rs` proves traces are identical
+    /// for limit 1 and unlimited — but useful for bisecting wakeup-order
+    /// issues. `usize::MAX` (the default) drains whole buckets.
+    pub fn set_timer_batch_limit(&mut self, limit: usize) {
+        self.kernel.batch_limit.set(limit.max(1));
     }
 
     /// A handle for use by model code.
@@ -466,6 +789,12 @@ impl Simulation {
     /// comparisons.
     pub fn kernel_stats(&self) -> (u64, u64) {
         (self.kernel.polls.get(), self.kernel.timers_fired.get())
+    }
+
+    /// Loosely-timed synchronization points taken so far (0 in accurate
+    /// mode): how often a task's accrued offset crossed the quantum.
+    pub fn sync_points(&self) -> u64 {
+        self.kernel.sync_points.get()
     }
 
     /// Spawns a process; see [`SimHandle::spawn`].
@@ -503,8 +832,9 @@ impl Simulation {
                 .kernel
                 .timers
                 .borrow()
-                .peek()
-                .map(|e| e.time > horizon.cycles())
+                .keys()
+                .next()
+                .map(|&t| t > horizon.cycles())
                 .unwrap_or(true)
             {
                 self.kernel.now.set(horizon.cycles());
@@ -735,5 +1065,109 @@ mod tests {
         sim.run();
         assert_eq!(count.get(), 1000);
         assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn slot_recycling_keeps_ids_distinct() {
+        // Spawn waves of short-lived tasks so arena slots are recycled;
+        // completions must be counted exactly once despite reuse.
+        let mut sim = Simulation::new();
+        let h = sim.handle();
+        let count = Rc::new(Cell::new(0u32));
+        {
+            let h2 = h.clone();
+            let count = Rc::clone(&count);
+            sim.spawn(async move {
+                for wave in 0..50u64 {
+                    for _ in 0..10 {
+                        let h3 = h2.clone();
+                        let count = Rc::clone(&count);
+                        h2.spawn(async move {
+                            h3.wait(Duration::cycles(1)).await;
+                            count.set(count.get() + 1);
+                        });
+                    }
+                    h2.wait(Duration::cycles(wave % 3 + 1)).await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(count.get(), 500);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn quantum_mode_skips_synchronization() {
+        let mut sim = Simulation::with_quantum(Duration::cycles(100));
+        let h = sim.handle();
+        let jh = sim.spawn(async move {
+            for _ in 0..1000 {
+                h.wait(Duration::cycles(1)).await;
+            }
+            h.now().cycles()
+        });
+        let end = sim.run();
+        // Local time is exact even though only every 100th wait synced.
+        assert_eq!(jh.try_take(), Some(1000));
+        assert_eq!(end.cycles(), 1000);
+        assert_eq!(sim.sync_points(), 10);
+        let (polls, timers) = sim.kernel_stats();
+        assert!(polls < 30, "expected ~10 sync polls, got {polls}");
+        assert!(timers < 15, "expected ~10 timer entries, got {timers}");
+    }
+
+    #[test]
+    fn quantum_mode_zero_wait_still_yields() {
+        let mut sim = Simulation::with_quantum(Duration::cycles(1000));
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<&str>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let log = Rc::clone(&log);
+            let h2 = h.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push("a1");
+                h2.wait(Duration::ZERO).await;
+                log.borrow_mut().push("a2");
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                log.borrow_mut().push("b1");
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    fn quantum_mode_is_deterministic() {
+        fn run_once() -> (u64, Vec<u64>) {
+            let mut sim = Simulation::with_quantum(Duration::cycles(64));
+            let h = sim.handle();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u64 {
+                let h = h.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    for k in 0..200u64 {
+                        h.wait(Duration::cycles((i + k) % 13 + 1)).await;
+                    }
+                    log.borrow_mut().push(h.now().cycles());
+                });
+            }
+            let end = sim.run().cycles();
+            let v = log.borrow().clone();
+            (end, v)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn accurate_mode_has_zero_quantum() {
+        let sim = Simulation::new();
+        assert_eq!(sim.quantum(), None);
+        let lt = Simulation::with_quantum(Duration::cycles(32));
+        assert_eq!(lt.quantum(), Some(Duration::cycles(32)));
     }
 }

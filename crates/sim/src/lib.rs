@@ -14,6 +14,15 @@
 //! made ready in the same *delta cycle* run in ready-queue order. Repeated
 //! runs of the same model produce identical traces.
 //!
+//! Internally, tasks live in a slab arena with generation-checked ids and
+//! an intrusive ready queue, timers are bucketed by timestamp and fired in
+//! same-instant batches, and waits/notifications move packed task ids
+//! instead of cloned `Waker`s — see the `executor` module docs. An opt-in
+//! loosely-timed mode ([`Simulation::with_quantum`], or `TVE_QUANTUM` via
+//! [`Simulation::from_env`]) trades intra-quantum timing fidelity for
+//! speed through temporal decoupling; the default mode is cycle-accurate
+//! and digest-stable across kernel versions.
+//!
 //! ```
 //! use tve_sim::{Simulation, Duration};
 //!
@@ -27,12 +36,14 @@
 //! assert_eq!(sim.now().cycles(), 10);
 //! ```
 
+mod arena;
 mod event;
 mod executor;
 mod sync;
 mod time;
 mod trace;
 mod vcd;
+mod waitq;
 
 pub use event::Event;
 pub use executor::{JoinHandle, SimHandle, Simulation, SpawnId};

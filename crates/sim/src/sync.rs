@@ -1,12 +1,17 @@
-//! Synchronization and communication primitives built on [`Event`]:
-//! counting semaphores, bounded FIFOs, and last-value signals.
+//! Synchronization and communication primitives — counting semaphores,
+//! bounded FIFOs, and last-value signals — built directly on the
+//! kernel's arena waker slots via [`WaitQueue`]: registering a waiter is
+//! a `Vec` push of a packed task id, waking is an intrusive ready-queue
+//! link. No `Waker` clones, no per-primitive `Rc<RefCell<..>>` event
+//! state.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
-use crate::{Event, SimHandle};
+use crate::waitq::WaitQueue;
+use crate::SimHandle;
 
 /// A counting semaphore for modeling limited resources (ports, TAM lanes,
 /// tester channels).
@@ -34,7 +39,7 @@ pub struct Semaphore {
 
 struct SemaphoreInner {
     permits: Cell<usize>,
-    released: Event,
+    released: WaitQueue,
 }
 
 impl fmt::Debug for Semaphore {
@@ -51,7 +56,7 @@ impl Semaphore {
         Semaphore {
             inner: Rc::new(SemaphoreInner {
                 permits: Cell::new(permits),
-                released: Event::new(handle),
+                released: WaitQueue::new(handle),
             }),
         }
     }
@@ -87,7 +92,7 @@ impl Semaphore {
     /// Returns one permit and wakes waiters.
     pub fn release(&self) {
         self.inner.permits.set(self.inner.permits.get() + 1);
-        self.inner.released.notify();
+        self.inner.released.wake_all();
     }
 }
 
@@ -103,8 +108,8 @@ pub struct Fifo<T> {
 struct FifoInner<T> {
     queue: RefCell<VecDeque<T>>,
     capacity: usize,
-    not_full: Event,
-    not_empty: Event,
+    not_full: WaitQueue,
+    not_empty: WaitQueue,
 }
 
 impl<T> fmt::Debug for Fifo<T> {
@@ -128,8 +133,8 @@ impl<T> Fifo<T> {
             inner: Rc::new(FifoInner {
                 queue: RefCell::new(VecDeque::with_capacity(capacity)),
                 capacity,
-                not_full: Event::new(handle),
-                not_empty: Event::new(handle),
+                not_full: WaitQueue::new(handle),
+                not_empty: WaitQueue::new(handle),
             }),
         }
     }
@@ -163,7 +168,7 @@ impl<T> Fifo<T> {
                 if q.len() < self.inner.capacity {
                     q.push_back(item.take().expect("item consumed twice"));
                     drop(q);
-                    self.inner.not_empty.notify();
+                    self.inner.not_empty.wake_all();
                     return;
                 }
             }
@@ -178,7 +183,7 @@ impl<T> Fifo<T> {
                 let mut q = self.inner.queue.borrow_mut();
                 if let Some(v) = q.pop_front() {
                     drop(q);
-                    self.inner.not_full.notify();
+                    self.inner.not_full.wake_all();
                     return v;
                 }
             }
@@ -192,7 +197,7 @@ impl<T> Fifo<T> {
         if q.len() < self.inner.capacity {
             q.push_back(item);
             drop(q);
-            self.inner.not_empty.notify();
+            self.inner.not_empty.wake_all();
             Ok(())
         } else {
             Err(item)
@@ -203,7 +208,7 @@ impl<T> Fifo<T> {
     pub fn try_pop(&self) -> Option<T> {
         let v = self.inner.queue.borrow_mut().pop_front();
         if v.is_some() {
-            self.inner.not_full.notify();
+            self.inner.not_full.wake_all();
         }
         v
     }
@@ -218,7 +223,7 @@ pub struct Signal<T> {
 
 struct SignalInner<T> {
     value: RefCell<T>,
-    changed: Event,
+    changed: WaitQueue,
 }
 
 impl<T: fmt::Debug> fmt::Debug for Signal<T> {
@@ -235,7 +240,7 @@ impl<T: Clone + PartialEq> Signal<T> {
         Signal {
             inner: Rc::new(SignalInner {
                 value: RefCell::new(initial),
-                changed: Event::new(handle),
+                changed: WaitQueue::new(handle),
             }),
         }
     }
@@ -257,7 +262,7 @@ impl<T: Clone + PartialEq> Signal<T> {
             }
         };
         if changed {
-            self.inner.changed.notify();
+            self.inner.changed.wake_all();
         }
     }
 

@@ -23,6 +23,9 @@ pub struct MemoryCore {
     name: String,
     base_addr: u32,
     mem: RefCell<RepairableMemory>,
+    /// Mirrors `power.is_some()` so the per-access path skips the
+    /// `RefCell` borrow on unmetered memories (the common case).
+    powered: Cell<bool>,
     power: RefCell<Option<MemPowerSink>>,
 }
 
@@ -61,6 +64,7 @@ impl MemoryCore {
             name: name.into(),
             base_addr,
             mem: RefCell::new(RepairableMemory::new(words, spares)),
+            powered: Cell::new(false),
             power: RefCell::new(None),
         }
     }
@@ -93,6 +97,7 @@ impl MemoryCore {
             meter,
             op_power,
         });
+        self.powered.set(true);
     }
 
     fn record_power(&self, words: u64) {
@@ -134,50 +139,63 @@ impl TamIf for MemoryCore {
     }
 
     fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()> {
-        Box::pin(async move {
-            let index = txn.addr.wrapping_sub(self.base_addr);
-            let words_needed = (txn.bit_len as usize).div_ceil(32).max(1);
-            let len = self.mem.borrow().len() as u32;
-            let last = index.checked_add(words_needed as u32 - 1);
-            if last.is_none_or(|l| l >= len) {
-                txn.status = ResponseStatus::AddressError;
-                return;
-            }
+        Box::pin(async move { self.transport_sync(txn) })
+    }
+
+    fn transport_is_sync(&self, _txn: &Transaction) -> bool {
+        true // a word RAM access never suspends
+    }
+
+    fn transport_sync_try(&self, txn: &mut Transaction) -> bool {
+        self.transport_sync(txn);
+        true
+    }
+
+    fn transport_sync(&self, txn: &mut Transaction) {
+        let index = txn.addr.wrapping_sub(self.base_addr);
+        let words_needed = (txn.bit_len as usize).div_ceil(32).max(1);
+        let mut mem = self.mem.borrow_mut();
+        let len = mem.len() as u32;
+        let last = index.checked_add(words_needed as u32 - 1);
+        if last.is_none_or(|l| l >= len) {
+            txn.status = ResponseStatus::AddressError;
+            return;
+        }
+        if self.powered.get() {
             self.record_power(words_needed as u64);
-            let mut mem = self.mem.borrow_mut();
-            match txn.cmd {
-                Command::Write | Command::WriteRead => {
-                    if txn.is_volume_only() {
-                        // Timing-only access still touches the array so
-                        // read/write counters stay meaningful.
-                        for i in 0..words_needed as u32 {
-                            mem.write(index + i, 0);
-                        }
-                    } else {
-                        for (i, w) in txn.data.iter().enumerate().take(words_needed) {
-                            mem.write(index + i as u32, *w);
-                        }
+        }
+        match txn.cmd {
+            Command::Write | Command::WriteRead => {
+                if txn.is_volume_only() {
+                    // Timing-only access still touches the array so
+                    // read/write counters stay meaningful.
+                    for i in 0..words_needed as u32 {
+                        mem.write(index + i, 0);
                     }
-                    if txn.cmd == Command::WriteRead {
-                        txn.data = (0..words_needed as u32)
-                            .map(|i| mem.read(index + i))
-                            .collect();
+                } else {
+                    for (i, w) in txn.data.iter().enumerate().take(words_needed) {
+                        mem.write(index + i as u32, *w);
                     }
                 }
-                Command::Read => {
-                    if txn.is_volume_only() {
-                        for i in 0..words_needed as u32 {
-                            let _ = mem.read(index + i);
-                        }
-                    } else {
-                        txn.data = (0..words_needed as u32)
-                            .map(|i| mem.read(index + i))
-                            .collect();
-                    }
+                if txn.cmd == Command::WriteRead {
+                    txn.data = (0..words_needed as u32)
+                        .map(|i| mem.read(index + i))
+                        .collect();
                 }
             }
-            txn.status = ResponseStatus::Ok;
-        })
+            Command::Read => {
+                if txn.is_volume_only() {
+                    for i in 0..words_needed as u32 {
+                        let _ = mem.read(index + i);
+                    }
+                } else {
+                    txn.data = (0..words_needed as u32)
+                        .map(|i| mem.read(index + i))
+                        .collect();
+                }
+            }
+        }
+        txn.status = ResponseStatus::Ok;
     }
 }
 

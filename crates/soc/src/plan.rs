@@ -503,7 +503,11 @@ fn run_scenario_impl<F: FnOnce(&JpegEncoderSoc)>(
     recorder: Option<&Rc<Recorder>>,
     prepare: F,
 ) -> Result<ScenarioMetrics, ScheduleError> {
-    let mut sim = Simulation::new();
+    // `Simulation::from_env` honors `TVE_QUANTUM`: unset/0 is the default
+    // cycle-accurate mode (digest-stable, see `tests/kernel_digests.rs`);
+    // a nonzero quantum opts this scenario into loosely-timed temporal
+    // decoupling, where timings — and therefore digests — may differ.
+    let mut sim = Simulation::from_env();
     let soc = JpegEncoderSoc::build(&sim.handle(), config.clone());
     if let Some(rec) = recorder {
         soc.attach_recorder(rec);

@@ -43,6 +43,11 @@ struct ArbiterInner {
     seq: Cell<u64>,
     last_granted: Cell<InitiatorId>,
     waiters: RefCell<Vec<Waiter>>,
+    /// Mirror of `waiters.len()`, so the uncontended fast path
+    /// (`is_idle` / `try_acquire` / `release`) never borrows the
+    /// `RefCell` — three borrows per transfer add up at memory-test
+    /// op rates.
+    queued: Cell<usize>,
     grants: Cell<u64>,
     handle: SimHandle,
 }
@@ -92,6 +97,7 @@ impl Arbiter {
                 seq: Cell::new(0),
                 last_granted: Cell::new(InitiatorId(u8::MAX)),
                 waiters: RefCell::new(Vec::new()),
+                queued: Cell::new(0),
                 grants: Cell::new(0),
                 handle: handle.clone(),
             }),
@@ -110,16 +116,34 @@ impl Arbiter {
 
     /// Number of initiators currently queued.
     pub fn queue_len(&self) -> usize {
-        self.inner.waiters.borrow().len()
+        self.inner.queued.get()
+    }
+
+    /// Whether the resource is free with nobody queued — i.e.
+    /// [`Arbiter::try_acquire`] would succeed.
+    pub fn is_idle(&self) -> bool {
+        !self.inner.busy.get() && self.inner.queued.get() == 0
+    }
+
+    /// Acquires the resource for `id` if it is idle (no suspension);
+    /// returns whether it was granted. The synchronous half of
+    /// [`Arbiter::acquire`]'s uncontended fast path.
+    pub fn try_acquire(&self, id: InitiatorId) -> bool {
+        let inner = &self.inner;
+        if !inner.busy.get() && inner.queued.get() == 0 {
+            inner.busy.set(true);
+            inner.last_granted.set(id);
+            inner.grants.set(inner.grants.get() + 1);
+            true
+        } else {
+            false
+        }
     }
 
     /// Acquires the resource on behalf of `id`, suspending until granted.
     pub async fn acquire(&self, id: InitiatorId) {
         let inner = &self.inner;
-        if !inner.busy.get() && inner.waiters.borrow().is_empty() {
-            inner.busy.set(true);
-            inner.last_granted.set(id);
-            inner.grants.set(inner.grants.get() + 1);
+        if self.try_acquire(id) {
             return;
         }
         let granted = Event::new(&inner.handle);
@@ -130,6 +154,7 @@ impl Arbiter {
             id,
             granted: granted.clone(),
         });
+        inner.queued.set(inner.queued.get() + 1);
         granted.wait().await;
     }
 
@@ -141,6 +166,10 @@ impl Arbiter {
     pub fn release(&self) {
         let inner = &self.inner;
         assert!(inner.busy.get(), "release of an idle arbiter");
+        if inner.queued.get() == 0 {
+            inner.busy.set(false);
+            return;
+        }
         let next = self.pick_next();
         match next {
             Some(waiter) => {
@@ -195,6 +224,7 @@ impl Arbiter {
                 best
             }
         };
+        self.inner.queued.set(self.inner.queued.get() - 1);
         Some(waiters.swap_remove(idx))
     }
 }

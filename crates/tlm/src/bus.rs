@@ -170,8 +170,18 @@ pub struct BusTam {
     cfg: BusConfig,
     arbiter: Arbiter,
     targets: RefCell<Vec<(AddrRange, Rc<dyn TamIf>)>>,
+    /// Index of the target that served the last routed transaction; test
+    /// traffic hammers one range at a time, so checking it first
+    /// short-circuits address decode on the hot path.
+    route_hint: Cell<usize>,
+    /// `(bit_len, cycles)` memo for [`BusTam::occupancy_of`].
+    occ_cache: Cell<(u64, u64)>,
     monitor: RefCell<UtilizationMonitor>,
     rejected: Cell<u64>,
+    /// True once a power meter or recorder is attached; lets the
+    /// per-transfer path skip two `RefCell` borrows on uninstrumented
+    /// channels (the common case).
+    instrumented: Cell<bool>,
     power: RefCell<Option<(Rc<RefCell<PowerMeter>>, f64)>>,
     recorder: RefCell<Option<ChannelRecorder>>,
 }
@@ -198,8 +208,11 @@ impl BusTam {
             handle: handle.clone(),
             arbiter: Arbiter::new(handle, cfg.policy),
             targets: RefCell::new(Vec::new()),
+            route_hint: Cell::new(0),
+            occ_cache: Cell::new((u64::MAX, 0)),
             monitor: RefCell::new(UtilizationMonitor::new(cfg.monitor_window)),
             rejected: Cell::new(0),
+            instrumented: Cell::new(false),
             power: RefCell::new(None),
             recorder: RefCell::new(None),
             cfg,
@@ -210,6 +223,7 @@ impl BusTam {
     /// `active_power`, attributed to the channel's name.
     pub fn attach_power_meter(&self, meter: Rc<RefCell<PowerMeter>>, active_power: f64) {
         *self.power.borrow_mut() = Some((meter, active_power));
+        self.instrumented.set(true);
     }
 
     /// Attaches an observability recorder: every granted occupancy chunk
@@ -219,6 +233,7 @@ impl BusTam {
     /// the recorder's metrics registry.
     pub fn attach_recorder(&self, recorder: Rc<Recorder>) {
         *self.recorder.borrow_mut() = Some(ChannelRecorder::new(&self.cfg.name, recorder));
+        self.instrumented.set(true);
     }
 
     /// The channel configuration.
@@ -272,16 +287,63 @@ impl BusTam {
     }
 
     /// Cycles a transfer of `bit_len` bits occupies this bus.
+    ///
+    /// Memoizes the last `bit_len`: memory tests issue millions of
+    /// same-size transfers and the `div_ceil` is a hardware divide.
     pub fn occupancy_of(&self, bit_len: u64) -> Duration {
-        Duration::cycles(self.cfg.overhead_cycles + bit_len.div_ceil(self.cfg.width_bits as u64))
+        let (k, v) = self.occ_cache.get();
+        if k == bit_len {
+            return Duration::cycles(v);
+        }
+        let cycles = self.cfg.overhead_cycles + bit_len.div_ceil(self.cfg.width_bits as u64);
+        self.occ_cache.set((bit_len, cycles));
+        Duration::cycles(cycles)
+    }
+
+    /// Cold half of the per-transfer bookkeeping: power-meter and
+    /// recorder updates for channels that attached either. Kept out of
+    /// line so the common (uninstrumented) transfer never touches the
+    /// two `Option` cells.
+    #[cold]
+    fn record_instrumentation(&self, txn: &Transaction, start: tve_sim::Time, dur: Duration) {
+        if let Some((meter, p)) = &*self.power.borrow() {
+            meter.borrow_mut().record(start, dur, *p, &self.cfg.name);
+        }
+        if let Some(obs) = &*self.recorder.borrow() {
+            obs.rec.record_with(|| {
+                SpanRecord::new(
+                    SpanKind::Transfer,
+                    self.cfg.name.as_str(),
+                    command_label(txn.cmd),
+                    start,
+                    start + dur,
+                )
+                .with_initiator(txn.initiator.0)
+                .with_bits(txn.bit_len)
+            });
+            obs.transfers.inc();
+            obs.bits.add(txn.bit_len);
+        }
+    }
+
+    /// Index of `addr`'s target in `targets`, trying the route hint
+    /// before a linear scan.
+    fn route_index(&self, targets: &[(AddrRange, Rc<dyn TamIf>)], addr: u32) -> Option<usize> {
+        let hint = self.route_hint.get();
+        if let Some((range, _)) = targets.get(hint) {
+            if range.contains(addr) {
+                return Some(hint);
+            }
+        }
+        let i = targets.iter().position(|(range, _)| range.contains(addr))?;
+        self.route_hint.set(i);
+        Some(i)
     }
 
     fn lookup(&self, addr: u32) -> Option<Rc<dyn TamIf>> {
-        self.targets
-            .borrow()
-            .iter()
-            .find(|(range, _)| range.contains(addr))
-            .map(|(_, t)| Rc::clone(t))
+        let targets = self.targets.borrow();
+        self.route_index(&targets, addr)
+            .map(|i| Rc::clone(&targets[i].1))
     }
 }
 
@@ -306,26 +368,28 @@ impl TamIf for BusTam {
                 self.monitor
                     .borrow_mut()
                     .record_busy(self.handle.now(), dur, txn.initiator);
-                if let Some((meter, p)) = &*self.power.borrow() {
-                    meter
-                        .borrow_mut()
-                        .record(self.handle.now(), dur, *p, &self.cfg.name);
-                }
-                if let Some(obs) = &*self.recorder.borrow() {
-                    let start = self.handle.now();
-                    obs.rec.record_with(|| {
-                        SpanRecord::new(
-                            SpanKind::Transfer,
-                            self.cfg.name.as_str(),
-                            command_label(txn.cmd),
-                            start,
-                            start + dur,
-                        )
-                        .with_initiator(txn.initiator.0)
-                        .with_bits(chunk)
-                    });
-                    obs.transfers.inc();
-                    obs.bits.add(chunk);
+                if self.instrumented.get() {
+                    if let Some((meter, p)) = &*self.power.borrow() {
+                        meter
+                            .borrow_mut()
+                            .record(self.handle.now(), dur, *p, &self.cfg.name);
+                    }
+                    if let Some(obs) = &*self.recorder.borrow() {
+                        let start = self.handle.now();
+                        obs.rec.record_with(|| {
+                            SpanRecord::new(
+                                SpanKind::Transfer,
+                                self.cfg.name.as_str(),
+                                command_label(txn.cmd),
+                                start,
+                                start + dur,
+                            )
+                            .with_initiator(txn.initiator.0)
+                            .with_bits(chunk)
+                        });
+                        obs.transfers.inc();
+                        obs.bits.add(chunk);
+                    }
                 }
                 self.handle.wait(dur).await;
                 // Split-transaction semantics: the channel is released
@@ -347,6 +411,113 @@ impl TamIf for BusTam {
                 }
             }
         })
+    }
+
+    /// Loosely-timed fast path: a whole single-chunk transfer completes
+    /// synchronously when the bus is idle, the occupancy fits in the
+    /// calling task's quantum budget, and the routed target is itself
+    /// synchronous for this transaction.
+    fn transport_is_sync(&self, txn: &Transaction) -> bool {
+        // Cheapest gate first: always false in accurate mode.
+        if !self.handle.local_wait_fits(self.occupancy_of(txn.bit_len)) {
+            return false;
+        }
+        // Burst segmentation re-arbitrates between chunks; keep that on
+        // the event-driven path.
+        if self
+            .cfg
+            .max_burst_bits
+            .is_some_and(|mb| txn.bit_len > mb.max(1))
+        {
+            return false;
+        }
+        if !self.arbiter.is_idle() {
+            return false;
+        }
+        let targets = self.targets.borrow();
+        match self.route_index(&targets, txn.addr) {
+            Some(i) => targets[i].1.transport_is_sync(txn),
+            None => true, // the address-error path never suspends
+        }
+    }
+
+    fn transport_sync(&self, txn: &mut Transaction) {
+        let granted = self.arbiter.try_acquire(txn.initiator);
+        debug_assert!(granted, "transport_sync raced the arbiter");
+        let dur = self.occupancy_of(txn.bit_len);
+        let start = self.handle.now();
+        self.monitor
+            .borrow_mut()
+            .record_busy(start, dur, txn.initiator);
+        if self.instrumented.get() {
+            self.record_instrumentation(txn, start, dur);
+        }
+        let absorbed = self.handle.try_local_wait(dur);
+        debug_assert!(absorbed, "transport_sync wait no longer fits");
+        self.arbiter.release();
+        let targets = self.targets.borrow();
+        match self.route_index(&targets, txn.addr) {
+            Some(i) => targets[i].1.transport_sync(txn),
+            None => {
+                self.rejected.set(self.rejected.get() + 1);
+                txn.status = ResponseStatus::AddressError;
+            }
+        }
+    }
+
+    /// Single-pass fast path: the gate checks and the transfer share one
+    /// route lookup and one arbiter touch. The routed component runs
+    /// first so a decline leaves no trace on this channel; synchronous
+    /// targets never consume channel time, so the reordering is not
+    /// observable in the monitor or the local quantum budget.
+    fn transport_sync_try(&self, txn: &mut Transaction) -> bool {
+        // Cheapest gate first: always declines in accurate mode.
+        if !self.handle.lt_active() {
+            return false;
+        }
+        // Burst segmentation re-arbitrates between chunks; keep that on
+        // the event-driven path.
+        if self
+            .cfg
+            .max_burst_bits
+            .is_some_and(|mb| txn.bit_len > mb.max(1))
+        {
+            return false;
+        }
+        if !self.arbiter.is_idle() {
+            return false;
+        }
+        // Fused fits-and-consume: one kernel touch instead of a fits
+        // check up front plus a consuming call after the gates.
+        let dur = self.occupancy_of(txn.bit_len);
+        if !self.handle.try_local_wait(dur) {
+            return false;
+        }
+        let targets = self.targets.borrow();
+        let routed = self.route_index(&targets, txn.addr);
+        if let Some(i) = routed {
+            if !targets[i].1.transport_sync_try(txn) {
+                // Rare: the routed component declined after the channel
+                // time was absorbed; refund it (all-or-nothing).
+                self.handle.local_wait_undo(dur);
+                return false;
+            }
+        }
+        let granted = self.arbiter.try_acquire(txn.initiator);
+        debug_assert!(granted, "transport_sync_try raced the arbiter");
+        let start = self.handle.now();
+        self.monitor
+            .borrow_mut()
+            .record_busy(start, dur, txn.initiator);
+        if self.instrumented.get() {
+            self.record_instrumentation(txn, start, dur);
+        }
+        self.arbiter.release();
+        if routed.is_none() {
+            self.rejected.set(self.rejected.get() + 1);
+            txn.status = ResponseStatus::AddressError;
+        }
+        true
     }
 }
 
@@ -387,16 +558,22 @@ impl TamIf for SinkTarget {
     }
 
     fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()> {
-        Box::pin(async move {
-            self.transactions.set(self.transactions.get() + 1);
-            self.bits.set(self.bits.get() + txn.bit_len);
-            if matches!(txn.cmd, Command::Read | Command::WriteRead) && !txn.data.is_empty() {
-                txn.data.iter_mut().for_each(|w| *w = 0);
-            } else if matches!(txn.cmd, Command::Read) {
-                txn.data = vec![0; (txn.bit_len as usize).div_ceil(32)];
-            }
-            txn.status = ResponseStatus::Ok;
-        })
+        Box::pin(async move { self.transport_sync(txn) })
+    }
+
+    fn transport_is_sync(&self, _txn: &Transaction) -> bool {
+        true // a sink consumes no time and never suspends
+    }
+
+    fn transport_sync(&self, txn: &mut Transaction) {
+        self.transactions.set(self.transactions.get() + 1);
+        self.bits.set(self.bits.get() + txn.bit_len);
+        if matches!(txn.cmd, Command::Read | Command::WriteRead) && !txn.data.is_empty() {
+            txn.data.iter_mut().for_each(|w| *w = 0);
+        } else if matches!(txn.cmd, Command::Read) {
+            txn.data = vec![0; (txn.bit_len as usize).div_ceil(32)];
+        }
+        txn.status = ResponseStatus::Ok;
     }
 }
 

@@ -30,7 +30,14 @@ use crate::payload::InitiatorId;
 pub struct UtilizationMonitor {
     window: u64,
     windows: BTreeMap<u64, u64>,
-    per_initiator: BTreeMap<InitiatorId, u64>,
+    /// Write-behind cache for the window currently being filled: long
+    /// activity bursts land in one window, so buffering its count in a
+    /// plain pair keeps the per-transfer cost off the `BTreeMap`.
+    hot_w: u64,
+    hot_busy: u64,
+    /// Linear small-map: a channel sees a handful of initiators, and a
+    /// scan of a short `Vec` beats a tree lookup per transfer.
+    per_initiator: Vec<(InitiatorId, u64)>,
     total_busy: u64,
     transfers: u64,
     last_end: Time,
@@ -59,11 +66,33 @@ impl UtilizationMonitor {
         UtilizationMonitor {
             window: window.as_cycles(),
             windows: BTreeMap::new(),
-            per_initiator: BTreeMap::new(),
+            hot_w: 0,
+            hot_busy: 0,
+            per_initiator: Vec::new(),
             total_busy: 0,
             transfers: 0,
             last_end: Time::ZERO,
         }
+    }
+
+    /// Folds the hot-window buffer into the window map.
+    fn flush_hot(&mut self) {
+        if self.hot_busy > 0 {
+            *self.windows.entry(self.hot_w).or_insert(0) += self.hot_busy;
+            self.hot_busy = 0;
+        }
+    }
+
+    /// All windows with activity, sorted by index, hot buffer folded in.
+    fn window_entries(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.windows.iter().map(|(&w, &b)| (w, b)).collect();
+        if self.hot_busy > 0 {
+            match v.binary_search_by_key(&self.hot_w, |e| e.0) {
+                Ok(i) => v[i].1 += self.hot_busy,
+                Err(i) => v.insert(i, (self.hot_w, self.hot_busy)),
+            }
+        }
+        v
     }
 
     /// The peak-detection window length.
@@ -74,19 +103,41 @@ impl UtilizationMonitor {
     /// Records that the channel was busy for `dur` starting at `start` on
     /// behalf of `initiator`.
     pub fn record_busy(&mut self, start: Time, dur: Duration, initiator: InitiatorId) {
-        let mut t = start.cycles();
-        let end = t + dur.as_cycles();
+        let t = start.cycles();
+        let d = dur.as_cycles();
+        let end = t + d;
         self.transfers += 1;
-        self.total_busy += dur.as_cycles();
-        *self.per_initiator.entry(initiator).or_insert(0) += dur.as_cycles();
+        self.total_busy += d;
+        match self.per_initiator.iter_mut().find(|(i, _)| *i == initiator) {
+            Some((_, busy)) => *busy += d,
+            None => self.per_initiator.push((initiator, d)),
+        }
+        // Same-window fast path: back-to-back transfers land in the hot
+        // window far more often than not, and skipping the split loop
+        // avoids a hardware divide per transfer.
+        let hot_start = self.hot_w * self.window;
+        if t >= hot_start && end <= hot_start + self.window {
+            self.hot_busy += d;
+        } else {
+            self.record_split(t, end);
+        }
+        self.last_end = self.last_end.max(Time::from_cycles(end));
+    }
+
+    /// Splits `[t, end)` across peak-detection windows (the slow path of
+    /// [`UtilizationMonitor::record_busy`]).
+    fn record_split(&mut self, mut t: u64, end: u64) {
         while t < end {
             let w = t / self.window;
             let wend = (w + 1) * self.window;
             let chunk = end.min(wend) - t;
-            *self.windows.entry(w).or_insert(0) += chunk;
+            if w != self.hot_w {
+                self.flush_hot();
+                self.hot_w = w;
+            }
+            self.hot_busy += chunk;
             t += chunk;
         }
-        self.last_end = self.last_end.max(Time::from_cycles(end));
     }
 
     /// Total busy cycles recorded.
@@ -113,12 +164,17 @@ impl UtilizationMonitor {
 
     /// Busy cycles attributed to `initiator`.
     pub fn busy_cycles_of(&self, initiator: InitiatorId) -> u64 {
-        self.per_initiator.get(&initiator).copied().unwrap_or(0)
+        self.per_initiator
+            .iter()
+            .find(|(i, _)| *i == initiator)
+            .map_or(0, |(_, busy)| *busy)
     }
 
     /// All per-initiator busy totals (sorted by initiator id).
     pub fn per_initiator(&self) -> impl Iterator<Item = (InitiatorId, u64)> + '_ {
-        self.per_initiator.iter().map(|(&k, &v)| (k, v))
+        let mut sorted = self.per_initiator.clone();
+        sorted.sort_unstable_by_key(|&(i, _)| i);
+        sorted.into_iter()
     }
 
     /// The busiest window's busy fraction in `[0, 1]`; zero when nothing was
@@ -126,9 +182,9 @@ impl UtilizationMonitor {
     /// span actually observed, so short runs are not underestimated.
     pub fn peak_utilization(&self) -> f64 {
         let last = self.last_end.cycles();
-        self.windows
-            .iter()
-            .map(|(&w, &busy)| {
+        self.window_entries()
+            .into_iter()
+            .map(|(w, busy)| {
                 let start = w * self.window;
                 let len = last.saturating_sub(start).min(self.window).max(1);
                 busy as f64 / len as f64
@@ -139,7 +195,7 @@ impl UtilizationMonitor {
     /// Per-window busy cycles `(window index, busy cycles)`, sorted by
     /// index; windows with no activity are absent.
     pub fn window_busy(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.windows.iter().map(|(&w, &b)| (w, b))
+        self.window_entries().into_iter()
     }
 
     /// Busy fraction over `[0, span_end)`; zero for an empty span.
@@ -157,7 +213,7 @@ impl UtilizationMonitor {
     /// [`ScalarTrace`]: tve_sim::ScalarTrace
     pub fn to_trace(&self, name: impl Into<String>) -> tve_sim::ScalarTrace {
         let mut trace = tve_sim::ScalarTrace::new(name);
-        for (w, busy) in &self.windows {
+        for (w, busy) in self.window_entries() {
             trace.record(
                 Time::from_cycles(w * self.window),
                 (busy * 1000 / self.window) as i64,
@@ -169,6 +225,8 @@ impl UtilizationMonitor {
     /// Clears all recorded data, keeping the window configuration.
     pub fn reset(&mut self) {
         self.windows.clear();
+        self.hot_w = 0;
+        self.hot_busy = 0;
         self.per_initiator.clear();
         self.total_busy = 0;
         self.transfers = 0;

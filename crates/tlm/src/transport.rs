@@ -49,6 +49,51 @@ pub trait TamIf {
     /// Transports `txn` through this component, updating its data (for
     /// reads) and `status`, and consuming simulated time for the transfer.
     fn transport<'a>(&'a self, txn: &'a mut Transaction) -> LocalBoxFuture<'a, ()>;
+
+    /// Whether [`TamIf::transport_sync`] could complete `txn` right now
+    /// without suspending the calling process. Must be side-effect free.
+    ///
+    /// This is the loosely-timed fast path: when the channel's occupancy
+    /// fits in the calling task's quantum budget
+    /// ([`tve_sim::SimHandle::local_wait_fits`]) and no arbitration or
+    /// back-pressure would block, the whole transaction — channel, routing,
+    /// target — runs as one synchronous call with no future allocation. In
+    /// the default accurate mode this is always `false`, so the event-driven
+    /// path (and its digests) is untouched. Components opt in; the default
+    /// declines.
+    fn transport_is_sync(&self, txn: &Transaction) -> bool {
+        let _ = txn;
+        false
+    }
+
+    /// Completes `txn` synchronously, with exactly the side effects and
+    /// simulated-time cost of awaiting [`TamIf::transport`].
+    ///
+    /// Only call when [`TamIf::transport_is_sync`] just returned `true`
+    /// with no intervening simulation activity.
+    fn transport_sync(&self, txn: &mut Transaction) {
+        let _ = txn;
+        unreachable!("transport_sync called without transport_is_sync")
+    }
+
+    /// Attempts the synchronous fast path in one call: when `txn` can
+    /// complete without suspending, performs it (with all the side
+    /// effects of [`TamIf::transport_sync`]) and returns `true`;
+    /// otherwise leaves `txn` and the component untouched and returns
+    /// `false`.
+    ///
+    /// The default composes the two-step check-then-do pair. Channels
+    /// override it to fuse the gate checks with the transfer — one
+    /// route lookup, one arbiter touch — because at memory-test op
+    /// rates the duplicate walk is measurable.
+    fn transport_sync_try(&self, txn: &mut Transaction) -> bool {
+        if self.transport_is_sync(txn) {
+            self.transport_sync(txn);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Convenience accessors over any [`TamIf`].
@@ -68,12 +113,12 @@ pub trait TamIfExt: TamIf {
         addr: u32,
         data: &[u32],
         bit_len: u64,
-    ) -> LocalBoxFuture<'a, Result<(), TamError>> {
+    ) -> impl Future<Output = Result<(), TamError>> + 'a {
         let mut txn = Transaction::write(initiator, addr, data.to_vec(), bit_len);
-        Box::pin(async move {
-            self.transport(&mut txn).await;
+        async move {
+            self.do_transport(&mut txn).await;
             finish(txn).map(|_| ())
-        })
+        }
     }
 
     /// Reads `bit_len` bits from `addr`.
@@ -86,12 +131,12 @@ pub trait TamIfExt: TamIf {
         initiator: InitiatorId,
         addr: u32,
         bit_len: u64,
-    ) -> LocalBoxFuture<'a, Result<Vec<u32>, TamError>> {
+    ) -> impl Future<Output = Result<Vec<u32>, TamError>> + 'a {
         let mut txn = Transaction::read(initiator, addr, bit_len);
-        Box::pin(async move {
-            self.transport(&mut txn).await;
+        async move {
+            self.do_transport(&mut txn).await;
             finish(txn).map(|t| t.data)
-        })
+        }
     }
 
     /// Concurrently shifts `data` in and the previous contents out
@@ -106,12 +151,12 @@ pub trait TamIfExt: TamIf {
         addr: u32,
         data: Vec<u32>,
         bit_len: u64,
-    ) -> LocalBoxFuture<'a, Result<Vec<u32>, TamError>> {
+    ) -> impl Future<Output = Result<Vec<u32>, TamError>> + 'a {
         let mut txn = Transaction::write_read(initiator, addr, data, bit_len);
-        Box::pin(async move {
-            self.transport(&mut txn).await;
+        async move {
+            self.do_transport(&mut txn).await;
             finish(txn).map(|t| t.data)
-        })
+        }
     }
 
     /// Transports a volume-only (timing) transaction of `bit_len` bits.
@@ -125,12 +170,22 @@ pub trait TamIfExt: TamIf {
         cmd: Command,
         addr: u32,
         bit_len: u64,
-    ) -> LocalBoxFuture<'a, Result<(), TamError>> {
+    ) -> impl Future<Output = Result<(), TamError>> + 'a {
         let mut txn = Transaction::volume(initiator, cmd, addr, bit_len);
-        Box::pin(async move {
-            self.transport(&mut txn).await;
+        async move {
+            self.do_transport(&mut txn).await;
             finish(txn).map(|_| ())
-        })
+        }
+    }
+
+    /// Transports `txn`, taking the synchronous fast path when the
+    /// component offers it ([`TamIf::transport_is_sync`]).
+    fn do_transport<'a>(&'a self, txn: &'a mut Transaction) -> impl Future<Output = ()> + 'a {
+        async move {
+            if !self.transport_sync_try(txn) {
+                self.transport(txn).await;
+            }
+        }
     }
 }
 

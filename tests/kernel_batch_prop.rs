@@ -1,0 +1,65 @@
+//! Property-based proof that the kernel's batched same-timestamp timer
+//! drain is semantically inert: for any workload, the observable event
+//! trace is identical whether a batch fires one timer at a time
+//! (`set_timer_batch_limit(1)`), a few at a time, or drains whole
+//! buckets (the default). See DESIGN.md § Kernel architecture.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use tve::sim::{Duration, Simulation};
+
+/// One observable event: (simulated cycle, task index, step index).
+type Trace = Vec<(u64, usize, usize)>;
+
+/// Runs `workload` (per-task wait sequences, in cycles) under the given
+/// timer batch limit and returns the trace of every completed wait in
+/// execution order.
+fn run(workload: &[Vec<u64>], batch_limit: usize) -> (Trace, u64) {
+    let mut sim = Simulation::new();
+    sim.set_timer_batch_limit(batch_limit);
+    let trace: Rc<RefCell<Trace>> = Rc::new(RefCell::new(Vec::new()));
+    for (ti, waits) in workload.iter().enumerate() {
+        let h = sim.handle();
+        let trace = Rc::clone(&trace);
+        let waits = waits.clone();
+        sim.spawn(async move {
+            for (si, &w) in waits.iter().enumerate() {
+                h.wait(Duration::cycles(w)).await;
+                trace.borrow_mut().push((h.now().cycles(), ti, si));
+            }
+        });
+    }
+    let end = sim.run().cycles();
+    let t = trace.borrow().clone();
+    (t, end)
+}
+
+/// Wait sequences drawn from a tiny duration range so many timers land
+/// on the same cycle — exactly the bucket shapes batching reorders if
+/// it is ever wrong.
+fn workloads() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(1u64..6, 1..12), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_limit_one_is_trace_identical(workload in workloads()) {
+        let (full, end_full) = run(&workload, usize::MAX);
+        let (one, end_one) = run(&workload, 1);
+        prop_assert_eq!(&one, &full);
+        prop_assert_eq!(end_one, end_full);
+    }
+
+    #[test]
+    fn any_batch_limit_is_trace_identical(workload in workloads(), limit in 2usize..5) {
+        let (full, end_full) = run(&workload, usize::MAX);
+        let (k, end_k) = run(&workload, limit);
+        prop_assert_eq!(&k, &full);
+        prop_assert_eq!(end_k, end_full);
+    }
+}
