@@ -5,12 +5,16 @@
 //! and emits the detection matrix as CSV and JSON.
 //!
 //! Usage: `campaign [--schedule 1-4|all] [--faults N] [--seed S]
-//! [--mem-words N] [--csv PATH] [--json PATH] [--no-diagnosis]` —
+//! [--mem-words N] [--csv PATH] [--json PATH] [--no-diagnosis]
+//! [--daemon [SOCKET]]` —
 //! `--faults` sets the sampled scan cells per core *and* memory faults
 //! (default 4 each), `--seed` reseeds the population sampler, and the
 //! matrix lands at `target/campaign_matrix.csv` / `.json` by default.
 //! `TVE_JOBS` overrides the farm's worker count; the artifacts are
-//! byte-identical for any worker count.
+//! byte-identical for any worker count. `--daemon [SOCKET]` submits the
+//! campaign to a running `tve-serve` daemon instead, which serves
+//! previously simulated (fault × schedule) cells from its result cache
+//! and still writes byte-identical artifacts.
 //!
 //! When all four schedules run, the binary *asserts* the campaign's
 //! acceptance criteria — 100 % union detection of scan-cell and memory
@@ -18,13 +22,14 @@
 //! injected (chain, position), and no silently absorbed infrastructure
 //! fault — and exits nonzero otherwise, so CI can run it as a check.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use tve_bench::write_artifact;
+use tve_bench::{daemon_connect, daemon_socket, write_artifact};
 use tve_campaign::{generate, run_campaign, CampaignConfig, PopulationSpec};
-use tve_obs::check_json;
+use tve_obs::{check_json, JsonValue};
 use tve_sched::Farm;
-use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+use tve_serve::{JobKind, JobSpec};
+use tve_soc::{paper_schedules, Workload};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -52,13 +57,12 @@ fn main() {
         arg_value(&args, "--json").unwrap_or_else(|| "target/campaign_matrix.json".into()),
     );
 
-    let mut soc = SocConfig::small();
-    soc.memory_words = mem_words;
-    let plan = SocTestPlan::small();
+    let workload = Workload::small().with_mem_words(mem_words);
+    let (soc, plan) = workload.build();
 
     let all = paper_schedules();
-    let schedules = match schedule_sel.as_str() {
-        "all" => all.to_vec(),
+    let indices: Vec<usize> = match schedule_sel.as_str() {
+        "all" => (1..=all.len()).collect(),
         sel => {
             let i: usize = sel
                 .parse()
@@ -68,10 +72,19 @@ fn main() {
                     eprintln!("error: --schedule wants 1..={} or 'all'", all.len());
                     std::process::exit(2);
                 });
-            vec![all[i - 1].clone()]
+            vec![i]
         }
     };
+    let schedules: Vec<_> = indices.iter().map(|&i| all[i - 1].clone()).collect();
     let complete = schedules.len() == all.len();
+    let diagnosis = !args.iter().any(|a| a == "--no-diagnosis");
+
+    if let Some(socket) = daemon_socket(&args) {
+        run_via_daemon(
+            &socket, &workload, &indices, seed, faults, diagnosis, &csv_path, &json_path, complete,
+        );
+        return;
+    }
 
     let spec = PopulationSpec {
         seed,
@@ -94,7 +107,7 @@ fn main() {
 
     let config = {
         let mut c = CampaignConfig::new(soc, plan, schedules, population);
-        c.diagnosis = !args.iter().any(|a| a == "--no-diagnosis");
+        c.diagnosis = diagnosis;
         c
     };
     let report = run_campaign(&config, &farm);
@@ -187,5 +200,122 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Submits the campaign to a running `tve-serve` daemon. The daemon
+/// serves already-simulated cells from its cache and returns the same
+/// CSV/JSON artifacts a local run writes, plus how much of the matrix
+/// was a hit — so back-to-back runs are near-instant and byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn run_via_daemon(
+    socket: &std::path::Path,
+    workload: &Workload,
+    indices: &[usize],
+    seed: u64,
+    faults: usize,
+    diagnosis: bool,
+    csv_path: &Path,
+    json_path: &Path,
+    complete: bool,
+) {
+    let mut client = daemon_connect(socket);
+    let job = JobSpec {
+        workload: workload.clone(),
+        kind: JobKind::Campaign {
+            schedules: indices.to_vec(),
+            seed,
+            faults,
+            diagnosis,
+        },
+        verify: None,
+    };
+    let result = client.submit(&job).unwrap_or_else(|e| {
+        eprintln!("error: campaign failed on the daemon: {e}");
+        std::process::exit(2);
+    });
+    let count = |key: &str| {
+        result
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_default()
+    };
+    println!(
+        "fault campaign via tve-serve at {}: {} cells, {} simulated / {} cached, {:.1} ms",
+        socket.display(),
+        count("cells"),
+        count("cells_simulated"),
+        count("cells_cached"),
+        count("wall_us") as f64 / 1e3
+    );
+
+    println!("\nper-schedule core-fault coverage (scan-cell + memory):");
+    for entry in result
+        .get("coverage")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or_default()
+    {
+        println!(
+            "  {:<36} {:>5.1}%  ({} escapes)",
+            entry
+                .get("schedule")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("?"),
+            entry
+                .get("core_coverage")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+                * 100.0,
+            entry
+                .get("escapes")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_default()
+        );
+    }
+
+    let csv = result
+        .get("csv")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("error: daemon response carried no CSV artifact");
+            std::process::exit(2);
+        });
+    let json = result
+        .get("json")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("error: daemon response carried no JSON artifact");
+            std::process::exit(2);
+        });
+    write_artifact(csv_path, csv);
+    write_artifact(json_path, json);
+    println!(
+        "matrix: {} and {} ({} cells)",
+        csv_path.display(),
+        json_path.display(),
+        count("cells")
+    );
+
+    if complete {
+        let mut failed = false;
+        let union_escapes = count("union_escapes");
+        if union_escapes == 0 {
+            println!("OK: 100% of scan-cell and memory faults detected by the schedule union");
+        } else {
+            eprintln!("FAIL: {union_escapes} core faults escaped every schedule");
+            failed = true;
+        }
+        if diagnosis
+            && result
+                .get("all_diagnoses_confirmed")
+                .and_then(JsonValue::as_bool)
+                != Some(true)
+        {
+            eprintln!("FAIL: diagnosis disagreed with the injected cell for some faults");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

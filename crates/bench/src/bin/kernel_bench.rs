@@ -29,7 +29,7 @@ use std::time::Instant;
 use tve_bench::write_artifact;
 use tve_sched::{Farm, ScenarioJob};
 use tve_sim::{Duration, Simulation};
-use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan};
+use tve_soc::{paper_schedules, run_scenario, SocConfig, SocTestPlan, Workload};
 
 /// A faithful replica of the pre-arena kernel, kept as the fixed
 /// comparison baseline. Only the surface the throughput workload needs
@@ -409,11 +409,11 @@ fn main() {
     // --- 2. Table I wall-clock: accurate vs loosely-timed -------------
     let scale = if quick { 100 } else { 10 };
     let quantum = 100_000u64;
-    let mut config = SocConfig::paper();
+    let mut workload = Workload::paper().with_scale(scale);
     if quick {
-        config.memory_words = 2622;
+        workload = workload.with_mem_words(2622);
     }
-    let plan = SocTestPlan::paper_scaled(scale);
+    let (config, plan) = workload.build();
     let t1_reps = if quick { 1 } else { 3 };
     eprintln!("table1: 4 schedules, scale 1/{scale}, {t1_reps} rep(s) per mode");
     std::env::remove_var("TVE_QUANTUM");
@@ -427,9 +427,7 @@ fn main() {
     std::env::remove_var("TVE_QUANTUM");
 
     // --- 3. farm throughput at 1/2/4 workers ---------------------------
-    let mut farm_config = SocConfig::paper();
-    farm_config.memory_words = 2622;
-    let farm_plan = SocTestPlan::paper_scaled(100);
+    let (farm_config, farm_plan) = Workload::bench().build();
     let jobs: Vec<ScenarioJob> = paper_schedules()
         .iter()
         .cycle()

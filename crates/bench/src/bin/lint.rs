@@ -7,19 +7,24 @@
 //! error-severity diagnostic is present — so CI can run it as a check.
 //!
 //! Usage: `lint [--seed-defect] [--budget P] [--json PATH]
-//! [--program PATH]...` — `--seed-defect` adds a deliberately broken
-//! schedule and program (the walkthrough exhibits; the exit code must go
-//! nonzero), `--budget` enables the phase power check, extra `--program`
-//! files are linted alongside the embedded examples, and the artifact
-//! lands at `target/lint_report.json` by default.
+//! [--program PATH]... [--daemon [SOCKET]]` — `--seed-defect` adds a
+//! deliberately broken schedule and program (the walkthrough exhibits;
+//! the exit code must go nonzero), `--budget` enables the phase power
+//! check, extra `--program` files are linted alongside the embedded
+//! examples, and the artifact lands at `target/lint_report.json` by
+//! default. `--daemon [SOCKET]` asks a running `tve-serve` daemon to
+//! lint the four schedules and the production program instead (cached
+//! after the first request); the local-only knobs (`--seed-defect`,
+//! `--budget`, extra `--program` files) are rejected in that mode.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use tve_bench::write_artifact;
+use tve_bench::{daemon_connect, daemon_socket, write_artifact};
 use tve_core::Schedule;
 use tve_lint::{lint_program_report, lint_schedule_report, reports_to_json, soc_facts, LintReport};
-use tve_obs::check_json;
-use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+use tve_obs::{check_json, JsonValue};
+use tve_serve::{JobKind, JobSpec};
+use tve_soc::{paper_schedules, Workload};
 
 const PRODUCTION_TVP: &str = include_str!("../../../../examples/programs/production.tvp");
 const SEEDED_DEFECT_TVP: &str = include_str!("../../../../examples/programs/seeded_defect.tvp");
@@ -48,8 +53,22 @@ fn main() {
         arg_value(&args, "--json").unwrap_or_else(|| "target/lint_report.json".into()),
     );
 
-    let config = SocConfig::paper();
-    let plan = SocTestPlan::paper();
+    let workload = Workload::paper();
+
+    if let Some(socket) = daemon_socket(&args) {
+        let unsupported = seed_defect || budget.is_some() || args.iter().any(|a| a == "--program");
+        if unsupported {
+            eprintln!(
+                "error: --seed-defect, --budget and --program are local-only; \
+                 drop them to lint via the daemon"
+            );
+            std::process::exit(2);
+        }
+        run_via_daemon(&socket, &workload, &json_path);
+        return;
+    }
+
+    let (config, plan) = workload.build();
     let mut facts = soc_facts(&config, &plan);
     if let Some(b) = budget {
         facts = facts.with_budget(b);
@@ -117,6 +136,55 @@ fn main() {
         json_path.display()
     );
 
+    if errors > 0 {
+        eprintln!("FAIL: error-severity diagnostics present");
+        std::process::exit(1);
+    }
+    println!("OK: no error-severity diagnostics");
+}
+
+/// Lints the four schedules plus the embedded production program on a
+/// running `tve-serve` daemon and writes the returned report artifact.
+fn run_via_daemon(socket: &std::path::Path, workload: &Workload, json_path: &Path) {
+    let mut client = daemon_connect(socket);
+    let job = JobSpec {
+        workload: workload.clone(),
+        kind: JobKind::Lint {
+            schedules: (1..=4).collect(),
+            program: Some((
+                "examples/programs/production.tvp".into(),
+                PRODUCTION_TVP.into(),
+            )),
+        },
+        verify: None,
+    };
+    let result = client.submit(&job).unwrap_or_else(|e| {
+        eprintln!("error: lint failed on the daemon: {e}");
+        std::process::exit(2);
+    });
+    let count = |key: &str| {
+        result
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_default()
+    };
+    let report = result
+        .get("report")
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| {
+            eprintln!("error: daemon response carried no lint report");
+            std::process::exit(2);
+        });
+    write_artifact(json_path, report);
+    let errors = count("errors");
+    println!(
+        "static analysis via tve-serve at {}: {errors} error(s), {} warning(s), cached {}, {:.1} ms -> {}",
+        socket.display(),
+        count("warnings"),
+        result.get("cached").and_then(JsonValue::as_bool) == Some(true),
+        count("wall_us") as f64 / 1e3,
+        json_path.display()
+    );
     if errors > 0 {
         eprintln!("FAIL: error-severity diagnostics present");
         std::process::exit(1);

@@ -1,0 +1,306 @@
+//! End-to-end benchmark of the `tve-serve` serving layer — the
+//! `BENCH_serve.json` trajectory.
+//!
+//! Spawns an in-process daemon on a private socket and drives the full
+//! serving story through a real client connection, gating each claim:
+//!
+//! 1. **cold pass** — the four benchmark schedules plus a small fault
+//!    campaign, everything simulated (no cache entry may pre-exist).
+//! 2. **warm pass** — the same jobs again; every result must come from
+//!    the cache, byte-identical (same digests), at least 10x faster,
+//!    with a second-pass hit rate of at least 90%.
+//! 3. **incremental pass** — a one-field plan edit
+//!    (`det_proc_patterns`) is announced via `invalidate` and then
+//!    submitted; exactly the schedules running that test (1 and 3) and
+//!    exactly half the campaign matrix may re-simulate, the rest must
+//!    stay cache hits.
+//! 4. **verify pass** — the same jobs once more with `verify: 1.0`, so
+//!    the daemon re-executes every hit and compares bit for bit;
+//!    `verify_failures` must stay 0.
+//!
+//! Usage: `serve_bench [--out PATH]` — the snapshot lands at
+//! `target/BENCH_serve.json` by default.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tve_bench::write_artifact;
+use tve_obs::JsonValue;
+use tve_serve::{spawn, Client, JobKind, JobSpec, ServeOptions};
+use tve_soc::{PlanOverrides, Workload};
+
+/// Campaign shape: small SoC, 2 sampled scan cells per core and 2
+/// memory faults, diagnosis on — big enough to exercise every cache
+/// kind, small enough for CI.
+const CAMPAIGN_SEED: u64 = 0x20090417;
+const CAMPAIGN_FAULTS: usize = 2;
+
+fn num(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or_default()
+}
+
+fn is_cached(v: &JsonValue) -> bool {
+    v.get("cached").and_then(JsonValue::as_bool) == Some(true)
+}
+
+fn digest(v: &JsonValue, key: &str) -> String {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+struct Pass {
+    wall_s: f64,
+    schedules: Vec<JsonValue>,
+    campaign: JsonValue,
+}
+
+/// Submits the four schedules plus the campaign and times the whole
+/// round trip (cache time included — that is the serving latency).
+fn run_pass(
+    client: &mut Client,
+    schedule_workload: &Workload,
+    campaign_workload: &Workload,
+    verify: Option<f64>,
+) -> Pass {
+    let t = Instant::now();
+    let mut schedules = Vec::new();
+    for index in 1..=4usize {
+        let job = JobSpec {
+            workload: schedule_workload.clone(),
+            kind: JobKind::Schedule { index },
+            verify,
+        };
+        schedules.push(client.submit(&job).unwrap_or_else(|e| {
+            eprintln!("error: schedule {index} failed on the daemon: {e}");
+            std::process::exit(2);
+        }));
+    }
+    let campaign = client
+        .submit(&JobSpec {
+            workload: campaign_workload.clone(),
+            kind: JobKind::Campaign {
+                schedules: vec![1, 2, 3, 4],
+                seed: CAMPAIGN_SEED,
+                faults: CAMPAIGN_FAULTS,
+                diagnosis: true,
+            },
+            verify,
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error: campaign failed on the daemon: {e}");
+            std::process::exit(2);
+        });
+    Pass {
+        wall_s: t.elapsed().as_secs_f64(),
+        schedules,
+        campaign,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "target/BENCH_serve.json".into());
+
+    let socket = PathBuf::from(format!("target/serve-bench-{}.sock", std::process::id()));
+    let daemon = spawn(&ServeOptions {
+        socket: socket.clone(),
+        workers: None,
+        verify: None,
+        quiet: true,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot start in-process daemon: {e}");
+        std::process::exit(2);
+    });
+    let mut client = Client::connect(&daemon.socket).expect("connect to in-process daemon");
+    let workers = client
+        .ping()
+        .ok()
+        .map(|p| num(&p, "workers"))
+        .unwrap_or_default();
+
+    let schedule_workload = Workload::bench();
+    let campaign_workload = Workload::small();
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- 1. cold pass --------------------------------------------------
+    eprintln!("cold pass: 4 schedules + campaign, everything simulated");
+    let cold = run_pass(&mut client, &schedule_workload, &campaign_workload, None);
+    for (i, s) in cold.schedules.iter().enumerate() {
+        assert!(!is_cached(s), "cold schedule {} was already cached", i + 1);
+    }
+    let cells = num(&cold.campaign, "cells");
+    assert_eq!(
+        num(&cold.campaign, "cells_simulated"),
+        cells,
+        "cold campaign served cells from a cache that should be empty"
+    );
+
+    // --- 2. warm pass --------------------------------------------------
+    let before_warm = client.stats().expect("stats");
+    let warm = run_pass(&mut client, &schedule_workload, &campaign_workload, None);
+    let after_warm = client.stats().expect("stats");
+    let warm_hits = num(&after_warm, "hits") - num(&before_warm, "hits");
+    let warm_misses = num(&after_warm, "misses") - num(&before_warm, "misses");
+    let second_pass_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    let warm_speedup = cold.wall_s / warm.wall_s.max(1e-9);
+    eprintln!(
+        "warm pass: {:.3}s vs {:.3}s cold ({warm_speedup:.0}x), hit rate {:.3}",
+        warm.wall_s, cold.wall_s, second_pass_hit_rate
+    );
+    for (i, (c, w)) in cold.schedules.iter().zip(&warm.schedules).enumerate() {
+        assert!(is_cached(w), "warm schedule {} missed the cache", i + 1);
+        assert_eq!(
+            digest(c, "digest"),
+            digest(w, "digest"),
+            "schedule {} digest changed between cold and warm",
+            i + 1
+        );
+    }
+    assert_eq!(
+        num(&warm.campaign, "cells_simulated"),
+        0,
+        "warm campaign re-simulated"
+    );
+    assert_eq!(
+        num(&warm.campaign, "goldens_simulated"),
+        0,
+        "warm campaign re-ran goldens"
+    );
+    assert_eq!(
+        digest(&cold.campaign, "csv_digest"),
+        digest(&warm.campaign, "csv_digest"),
+        "campaign CSV digest changed between cold and warm"
+    );
+    if warm_speedup < 10.0 {
+        failures.push(format!(
+            "warm pass only {warm_speedup:.1}x cold (need >= 10x)"
+        ));
+    }
+    if second_pass_hit_rate < 0.9 {
+        failures.push(format!(
+            "second-pass hit rate {second_pass_hit_rate:.3} (need >= 0.9)"
+        ));
+    }
+
+    // --- 3. incremental pass -------------------------------------------
+    // Edit one test's pattern count. det_proc_patterns feeds test 2
+    // (sequence index 1), which only schedules 1 and 3 run — so exactly
+    // those two schedules and half the campaign matrix may re-simulate.
+    let mut edit = PlanOverrides::default();
+    edit.set("det_proc_patterns", 37);
+    let entries_before = num(&client.stats().expect("stats"), "entries");
+    let impact = client
+        .invalidate(&schedule_workload, &edit)
+        .expect("invalidate");
+    let evicted = num(&impact, "evicted");
+    let affected = impact
+        .get("affected_schedules")
+        .and_then(JsonValue::as_arr)
+        .map(<[JsonValue]>::len)
+        .unwrap_or(0);
+    let entries_after = num(&client.stats().expect("stats"), "entries");
+    eprintln!(
+        "incremental: edit det_proc_patterns -> {affected} schedules affected, {evicted} entries evicted"
+    );
+    assert_eq!(
+        affected, 2,
+        "det_proc_patterns must affect exactly schedules 1 and 3"
+    );
+    assert!(evicted > 0, "the edit must evict some cached results");
+    assert_eq!(
+        entries_before - evicted,
+        entries_after,
+        "eviction accounting"
+    );
+
+    let edited_schedules = schedule_workload.clone().with_overrides(edit);
+    let edited_campaign = campaign_workload.clone().with_overrides(edit);
+    let t = Instant::now();
+    let incr = run_pass(&mut client, &edited_schedules, &edited_campaign, None);
+    let incremental_wall_s = t.elapsed().as_secs_f64();
+    let cached_flags: Vec<bool> = incr.schedules.iter().map(is_cached).collect();
+    assert_eq!(
+        cached_flags,
+        [false, true, false, true],
+        "after the edit, exactly schedules 1 and 3 must re-simulate"
+    );
+    let incr_cells_simulated = num(&incr.campaign, "cells_simulated");
+    assert_eq!(
+        incr_cells_simulated,
+        cells / 2,
+        "after the edit, exactly the schedule-1/3 half of the matrix must re-simulate"
+    );
+    assert_eq!(
+        num(&incr.campaign, "goldens_simulated"),
+        2,
+        "after the edit, exactly the two affected goldens must re-run"
+    );
+
+    // --- 4. verify pass ------------------------------------------------
+    // Every hit re-executed and compared bit for bit.
+    let verify = run_pass(&mut client, &edited_schedules, &edited_campaign, Some(1.0));
+    assert!(
+        verify.schedules.iter().all(is_cached),
+        "verify pass must hit"
+    );
+    let stats = client.stats().expect("stats");
+    let verified = num(&stats, "verified");
+    let verify_failures = num(&stats, "verify_failures");
+    eprintln!("verify pass: {verified} hits re-executed, {verify_failures} mismatches");
+    assert!(verified > 0, "verify pass re-executed nothing");
+    if verify_failures > 0 {
+        failures.push(format!(
+            "{verify_failures} cache hits diverged from fresh re-execution"
+        ));
+    }
+
+    client.shutdown().expect("daemon shutdown");
+    daemon.join().expect("daemon join");
+
+    let json = format!(
+        "{{\n  \"schema\": \"tve-serve-bench/1\",\n  \"workers\": {workers},\n  \
+         \"cold_wall_s\": {:.4},\n  \"warm_wall_s\": {:.4},\n  \
+         \"warm_speedup\": {:.2},\n  \"second_pass_hit_rate\": {:.4},\n  \
+         \"incremental\": {{\n    \"edit\": \"det_proc_patterns\",\n    \
+         \"evicted\": {evicted},\n    \"schedules_resimulated\": 2,\n    \
+         \"schedules_cached\": 2,\n    \"cells\": {cells},\n    \
+         \"cells_resimulated\": {incr_cells_simulated},\n    \
+         \"wall_s\": {:.4}\n  }},\n  \"verify\": {{\n    \
+         \"verified\": {verified},\n    \"verify_failures\": {verify_failures}\n  }},\n  \
+         \"cache_entries\": {}\n}}\n",
+        cold.wall_s,
+        warm.wall_s,
+        warm_speedup,
+        second_pass_hit_rate,
+        incremental_wall_s,
+        num(&stats, "entries"),
+    );
+    write_artifact(std::path::Path::new(&out), &json);
+    println!(
+        "serve bench: cold {:.3}s, warm {:.3}s ({warm_speedup:.0}x), hit rate {:.3}, \
+         incremental {:.3}s ({}/{} cells), verified {verified} -> {out}",
+        cold.wall_s,
+        warm.wall_s,
+        second_pass_hit_rate,
+        incremental_wall_s,
+        incr_cells_simulated,
+        cells
+    );
+
+    if !failures.is_empty() {
+        eprintln!("serve gate FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("serve gate: OK (warm >= 10x cold, hit rate >= 0.9, verify clean)");
+}

@@ -16,11 +16,21 @@
 //!
 //! The four scenarios are independent simulations, so they are fanned
 //! over the validation farm (`TVE_JOBS` overrides the worker count).
+//!
+//! With `--daemon [SOCKET]` the scenarios are instead submitted to a
+//! running `tve-serve` daemon, which serves repeats from its
+//! content-addressed result cache; the row then reports the job wall
+//! time and whether it was a cache hit (trace recording stays local-only).
 
-use tve_bench::{format_row, rel_err_pct, trace_output, write_artifact};
-use tve_obs::{check_json, utilization_from_spans, write_chrome_trace, SpanKind, StoragePolicy};
+use tve_bench::{
+    daemon_connect, daemon_socket, format_row, rel_err_pct, trace_output, write_artifact,
+};
+use tve_obs::{
+    check_json, utilization_from_spans, write_chrome_trace, JsonValue, SpanKind, StoragePolicy,
+};
 use tve_sched::{run_scenarios, run_scenarios_traced, BatchReport, ScenarioJob};
-use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+use tve_serve::{JobKind, JobSpec};
+use tve_soc::{paper_schedules, Workload};
 
 /// Paper values: (peak %, avg %, test length Mcycles, CPU s).
 const PAPER: [(f64, f64, f64, f64); 4] = [
@@ -45,15 +55,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u32>().ok());
 
-    let mut config = SocConfig::paper();
+    let mut workload = Workload::paper().with_scale(scale);
     if let Some(words) = mem_words {
-        config.memory_words = words;
+        workload = workload.with_mem_words(words);
     }
-    let plan = if scale == 1 {
-        SocTestPlan::paper()
-    } else {
-        SocTestPlan::paper_scaled(scale)
-    };
+    let (config, plan) = workload.build();
+
+    if let Some(socket) = daemon_socket(&args) {
+        run_via_daemon(&socket, &workload, scale);
+        return;
+    }
 
     println!("Table I reproduction — JPEG encoder SoC test scenarios");
     println!("(volume data policy, scale 1/{scale}; paper values in parentheses)\n");
@@ -203,6 +214,78 @@ fn main() {
             path.display(),
             merged.spans.len(),
             merged.tracks().len()
+        );
+    }
+}
+
+/// Submits the four scenarios to a running `tve-serve` daemon instead
+/// of simulating in-process. CPU time and ATE volume are not on the
+/// wire, so the row reports the served job's wall time and cache state.
+fn run_via_daemon(socket: &std::path::Path, workload: &Workload, scale: u64) {
+    let mut client = daemon_connect(socket);
+    println!(
+        "Table I via tve-serve at {} (volume data policy, scale 1/{scale})\n",
+        socket.display()
+    );
+    let widths = [10usize, 15, 14, 22, 11, 8];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "scenario".into(),
+                "peak TAM util".into(),
+                "avg TAM util".into(),
+                "test length (Mcycles)".into(),
+                "wall (ms)".into(),
+                "cached".into(),
+            ],
+            &widths
+        )
+    );
+    for index in 1..=4usize {
+        let job = JobSpec {
+            workload: workload.clone(),
+            kind: JobKind::Schedule { index },
+            verify: None,
+        };
+        let result = client.submit(&job).unwrap_or_else(|e| {
+            eprintln!("error: scenario {index} failed on the daemon: {e}");
+            std::process::exit(2);
+        });
+        let num = |key: &str| result.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        assert!(
+            result.get("clean").and_then(JsonValue::as_bool) == Some(true),
+            "scenario {index} reported errors"
+        );
+        let cached = result.get("cached").and_then(JsonValue::as_bool) == Some(true);
+        println!(
+            "{}",
+            format_row(
+                &[
+                    format!("{index}"),
+                    format!("{:.0}%", num("peak") * 100.0),
+                    format!("{:.0}%", num("avg") * 100.0),
+                    format!("{:.0}", num("cycles") / 1e6 * scale as f64),
+                    format!("{:.1}", num("wall_us") / 1e3),
+                    format!("{cached}"),
+                ],
+                &widths
+            )
+        );
+    }
+    if let Ok(stats) = client.stats() {
+        let count = |key: &str| {
+            stats
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_default()
+        };
+        println!(
+            "\ndaemon cache: {} entries, {} hits / {} misses, {} workers",
+            count("entries"),
+            count("hits"),
+            count("misses"),
+            count("workers")
         );
     }
 }

@@ -156,7 +156,43 @@ fn classify(golden: &ScenarioMetrics, faulty: &ScenarioMetrics, log: &TraceLog) 
     }
 }
 
-fn diagnose_scan_fault(
+/// Runs one (fault × schedule) cell: builds a fresh SoC from `soc`,
+/// injects `fault`, executes `schedule` under `plan`, and classifies the
+/// outcome against the `golden` baseline of the same schedule.
+///
+/// This is exactly the per-cell body [`run_campaign`] fans over the farm,
+/// exposed so cache-aware callers (the `tve-serve` daemon) can execute
+/// and re-execute individual cells without re-running the whole matrix.
+///
+/// # Panics
+///
+/// Panics if `schedule` is not well-formed for the seven-test `plan`.
+pub fn run_cell(
+    soc: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    fault: &FaultSpec,
+    golden: &ScenarioMetrics,
+) -> CellOutcome {
+    let mut soc = soc.clone();
+    if let FaultSpec::TamCorruption { policy } = fault {
+        soc.tam_fault = Some(*policy);
+    }
+    let (metrics, log) =
+        run_scenario_prepared_traced(&soc, plan, schedule, StoragePolicy::Unbounded, |soc| {
+            apply_fault(soc, fault)
+        })
+        .unwrap_or_else(|e| panic!("schedule '{}' rejected: {e}", schedule.name));
+    classify(golden, &metrics, &log)
+}
+
+/// Takes one detected scan-cell fault to the (simulated) diagnosis
+/// station: replays the plan's BIST stream against a golden and a faulty
+/// wrapper and checks the located cell against the injected one.
+///
+/// Public for the same reason as [`run_cell`]: cache-aware callers run
+/// and re-run diagnosis checks individually.
+pub fn diagnose_scan_fault(
     config: &CampaignConfig,
     core: WrappedCore,
     cell: StuckCell,
@@ -279,19 +315,13 @@ pub fn run_campaign(config: &CampaignConfig, farm: &Farm) -> CampaignReport {
     let (outcomes, _, _) = farm.run_map(&cells, |&(fi, si)| {
         let fault = &config.population[fi];
         let schedule = &config.schedules[si];
-        let mut soc = config.soc.clone();
-        if let FaultSpec::TamCorruption { policy } = fault {
-            soc.tam_fault = Some(*policy);
-        }
-        let (metrics, log) = run_scenario_prepared_traced(
-            &soc,
+        run_cell(
+            &config.soc,
             &config.plan,
             schedule,
-            StoragePolicy::Unbounded,
-            |soc| apply_fault(soc, fault),
+            fault,
+            &golden[&schedule.name],
         )
-        .unwrap_or_else(|e| panic!("schedule '{}' rejected: {e}", schedule.name));
-        classify(&golden[&schedule.name], &metrics, &log)
     });
     let results: Vec<CellResult> = cells
         .iter()

@@ -53,6 +53,6 @@ mod engine;
 mod fault;
 mod matrix;
 
-pub use engine::{apply_fault, run_campaign, CampaignConfig};
+pub use engine::{apply_fault, diagnose_scan_fault, run_campaign, run_cell, CampaignConfig};
 pub use fault::{generate, FaultSpec, PopulationSpec, SCANNED_CORES};
 pub use matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck, PrescreenedSchedule};

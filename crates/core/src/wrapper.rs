@@ -12,7 +12,9 @@ use std::rc::Rc;
 
 use tve_obs::{Gauge, Histogram, Recorder, SpanKind, SpanRecord};
 use tve_sim::{Duration, SimHandle, Time};
-use tve_tlm::{Command, LocalBoxFuture, PowerMeter, ResponseStatus, TamIf, Transaction};
+use tve_tlm::{
+    Command, DmiAccess, InitiatorId, LocalBoxFuture, PowerMeter, ResponseStatus, TamIf, Transaction,
+};
 use tve_tpg::{BitVec, Misr};
 
 use crate::config_bus::ConfigClient;
@@ -181,6 +183,10 @@ pub struct TestWrapper {
     boundary_out: RefCell<Option<BitVec>>,
     /// Boundary register captured from the interconnect (ext-test in).
     boundary_in: RefCell<Option<BitVec>>,
+    /// Bumped on every WIR load; outstanding DMI grants carry the value
+    /// they were issued under and decline once it moves — a mode change
+    /// revokes direct access (the DMI invalidation of TLM-2.0).
+    dmi_generation: Cell<u64>,
 }
 
 impl fmt::Debug for TestWrapper {
@@ -223,6 +229,7 @@ impl TestWrapper {
             recorder: RefCell::new(None),
             boundary_out: RefCell::new(None),
             boundary_in: RefCell::new(None),
+            dmi_generation: Cell::new(0),
         }
     }
 
@@ -586,6 +593,57 @@ impl TamIf for TestWrapper {
             }
         }
     }
+
+    /// Functional-mode forwarding grant: chains to the bound functional
+    /// target's window, revoked by the next WIR load.
+    fn dmi_window(
+        self: Rc<Self>,
+        base: u32,
+        words: u32,
+        initiator: InitiatorId,
+    ) -> Option<Rc<dyn DmiAccess>> {
+        if self.mode.get() != WrapperMode::Functional {
+            return None;
+        }
+        let target = self.functional.borrow().clone()?;
+        let inner = target.dmi_window(base, words, initiator)?;
+        Some(Rc::new(WrapperDmi {
+            generation: self.dmi_generation.get(),
+            wrapper: self,
+            inner,
+        }))
+    }
+}
+
+/// A [`DmiAccess`] grant through a [`TestWrapper`] in functional mode:
+/// forwards to the core's grant and keeps the wrapper's `forwarded`
+/// counter exact, declining once a WIR load has moved the generation.
+struct WrapperDmi {
+    wrapper: Rc<TestWrapper>,
+    inner: Rc<dyn DmiAccess>,
+    generation: u64,
+}
+
+impl DmiAccess for WrapperDmi {
+    fn dmi_read(&self, addr: u32) -> Option<u32> {
+        if self.wrapper.dmi_generation.get() != self.generation {
+            return None;
+        }
+        let word = self.inner.dmi_read(addr)?;
+        self.wrapper.bump(|s| s.forwarded += 1);
+        Some(word)
+    }
+
+    fn dmi_write(&self, addr: u32, value: u32) -> bool {
+        if self.wrapper.dmi_generation.get() != self.generation {
+            return false;
+        }
+        if !self.inner.dmi_write(addr, value) {
+            return false;
+        }
+        self.wrapper.bump(|s| s.forwarded += 1);
+        true
+    }
 }
 
 impl ConfigClient for TestWrapper {
@@ -604,6 +662,10 @@ impl ConfigClient for TestWrapper {
             None => value,
         };
         self.wir.set(value);
+        // Any WIR load may change the mode out from under an outstanding
+        // DMI grant; revoke them all (re-granted on the next window
+        // request if the new mode still forwards).
+        self.dmi_generation.set(self.dmi_generation.get() + 1);
         if let Some(obs) = &*self.recorder.borrow() {
             obs.wir.set(value as i64);
         }

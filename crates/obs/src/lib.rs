@@ -64,7 +64,7 @@ mod span;
 pub use agg::{earliest_span_end, utilization_from_spans, UtilizationSummary};
 pub use chrome::write_chrome_trace;
 pub use csv::{write_metrics_csv, write_spans_csv};
-pub use json::{check_json, JsonError};
+pub use json::{append_json_string, check_json, parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
 pub use recorder::{Recorder, StoragePolicy, TraceLog};
 pub use span::{SpanKind, SpanRecord};

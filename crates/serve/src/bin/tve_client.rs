@@ -1,0 +1,319 @@
+//! `tve-client` — CLI for the `tve-serve` daemon.
+//!
+//! ```text
+//! tve-client [--socket PATH] <command> [flags]
+//! ```
+//!
+//! Commands: `ping`, `stats`, `shutdown`, `schedule`, `campaign`,
+//! `lint`, `status`, `result`, `invalidate`. Workload flags
+//! (`--preset`, `--scale`, `--mem-words`, `--set key=value`) select
+//! what the job runs against; see `DESIGN.md` for the full protocol.
+
+use std::process::ExitCode;
+
+use tve_obs::JsonValue;
+use tve_serve::{render_response, Client, JobKind, JobSpec};
+use tve_soc::{PlanOverrides, Workload, WorkloadPreset};
+
+const USAGE: &str = "usage: tve-client [--socket PATH] <command> [flags]
+commands:
+  ping                       round-trip the daemon
+  stats                      cache/serving statistics
+  shutdown                   stop the daemon cleanly
+  schedule  --index N        run one Table-I schedule fault-free
+  campaign                   run a fault campaign
+    [--schedules 1,3] [--faults N] [--seed S] [--no-diagnosis]
+    [--csv FILE] [--json FILE]
+  lint                       static schedule (and program) lint
+    [--schedules 1,2] [--program FILE] [--out FILE]
+  status    --id N           poll an async job
+  result    --id N [--wait]  fetch an async job's result
+  invalidate --set k=v ...   predict an edit's blast radius and evict
+workload flags (schedule/campaign/lint/invalidate):
+  --preset paper|small|bench   base workload (default small)
+  --scale N                    divide pattern counts by N
+  --mem-words N                memory size override
+  --set key=value              plan override (repeatable)
+job flags:
+  --verify F                 re-execute cache hits with probability F
+  --no-wait                  submit async; prints the job id
+  --out FILE                 also write the result JSON to FILE
+";
+
+struct Cli {
+    socket: String,
+    command: Option<String>,
+    index: Option<usize>,
+    schedules: Option<Vec<usize>>,
+    faults: usize,
+    seed: u64,
+    diagnosis: bool,
+    verify: Option<f64>,
+    preset: WorkloadPreset,
+    scale: u64,
+    mem_words: Option<u32>,
+    overrides: PlanOverrides,
+    program: Option<String>,
+    csv: Option<String>,
+    json: Option<String>,
+    out: Option<String>,
+    id: Option<u64>,
+    wait: bool,
+    no_wait: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        socket: std::env::var("TVE_SERVE_SOCKET")
+            .unwrap_or_else(|_| tve_serve::DEFAULT_SOCKET.into()),
+        command: None,
+        index: None,
+        schedules: None,
+        faults: 2,
+        seed: 20090417,
+        diagnosis: true,
+        verify: None,
+        preset: WorkloadPreset::Small,
+        scale: 1,
+        mem_words: None,
+        overrides: PlanOverrides::default(),
+        program: None,
+        csv: None,
+        json: None,
+        out: None,
+        id: None,
+        wait: false,
+        no_wait: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{what} wants a value"))
+        };
+        match flag.as_str() {
+            "--socket" => cli.socket = value("--socket")?,
+            "--index" => {
+                cli.index = Some(
+                    value("--index")?
+                        .parse()
+                        .map_err(|e| format!("--index: {e}"))?,
+                )
+            }
+            "--schedules" => {
+                let mut indices = Vec::new();
+                for part in value("--schedules")?.split(',') {
+                    indices.push(
+                        part.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|i| (1..=4).contains(i))
+                            .ok_or("--schedules wants comma-separated indices in 1..=4")?,
+                    );
+                }
+                cli.schedules = Some(indices);
+            }
+            "--faults" => {
+                cli.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?
+            }
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--no-diagnosis" => cli.diagnosis = false,
+            "--verify" => {
+                let fraction: f64 = value("--verify")?
+                    .parse()
+                    .map_err(|e| format!("--verify: {e}"))?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err("--verify wants a fraction in [0, 1]".into());
+                }
+                cli.verify = Some(fraction);
+            }
+            "--preset" => {
+                let name = value("--preset")?;
+                cli.preset = WorkloadPreset::parse(&name)
+                    .ok_or_else(|| format!("unknown preset {name:?}"))?;
+            }
+            "--scale" => {
+                cli.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--mem-words" => {
+                cli.mem_words = Some(
+                    value("--mem-words")?
+                        .parse()
+                        .map_err(|e| format!("--mem-words: {e}"))?,
+                )
+            }
+            "--set" => {
+                let pair = value("--set")?;
+                let (key, raw) = pair.split_once('=').ok_or("--set wants key=value")?;
+                let parsed: u64 = raw.parse().map_err(|e| format!("--set {key}: {e}"))?;
+                if !cli.overrides.set(key, parsed) {
+                    return Err(format!(
+                        "unknown plan key {key:?} (known: {})",
+                        tve_soc::PLAN_OVERRIDE_KEYS.join(", ")
+                    ));
+                }
+            }
+            "--program" => cli.program = Some(value("--program")?),
+            "--csv" => cli.csv = Some(value("--csv")?),
+            "--json" => cli.json = Some(value("--json")?),
+            "--out" => cli.out = Some(value("--out")?),
+            "--id" => cli.id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?),
+            "--wait" => cli.wait = true,
+            "--no-wait" => cli.no_wait = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"))
+            }
+            command => {
+                if cli.command.is_some() {
+                    return Err(format!("unexpected argument {command:?}"));
+                }
+                cli.command = Some(command.to_string());
+            }
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn workload(cli: &Cli) -> Workload {
+    let mut w = Workload::new(cli.preset).with_scale(cli.scale);
+    if let Some(words) = cli.mem_words {
+        w = w.with_mem_words(words);
+    }
+    w.with_overrides(cli.overrides)
+}
+
+fn write_out(path: &Option<String>, text: &str, what: &str) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, text).map_err(|e| format!("writing {what} to {path}: {e}"))?;
+        eprintln!("tve-client: wrote {what} to {path}");
+    }
+    Ok(())
+}
+
+fn field_str<'v>(result: &'v JsonValue, name: &str) -> Result<&'v str, String> {
+    result
+        .get(name)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("result had no {name:?} field"))
+}
+
+fn submit(client: &mut Client, cli: &Cli, kind: JobKind) -> Result<Option<JsonValue>, String> {
+    let job = JobSpec {
+        workload: workload(cli),
+        kind,
+        verify: cli.verify,
+    };
+    if cli.no_wait {
+        let id = client.submit_async(&job)?;
+        println!("{{\"id\":{id},\"state\":\"running\"}}");
+        return Ok(None);
+    }
+    let result = client.submit(&job)?;
+    write_out(&cli.out, &render_response(&result), "result")?;
+    Ok(Some(result))
+}
+
+fn run() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let command = cli.command.clone().ok_or(USAGE.to_string())?;
+    let mut client = Client::connect(&cli.socket)
+        .map_err(|e| format!("cannot connect to {}: {e}", cli.socket))?;
+    match command.as_str() {
+        "ping" => println!("{}", render_response(&client.ping()?)),
+        "stats" => println!("{}", render_response(&client.stats()?)),
+        "shutdown" => {
+            client.shutdown()?;
+            println!("{{\"ok\":true}}");
+        }
+        "schedule" => {
+            let index = cli.index.ok_or("schedule wants --index N (1..=4)")?;
+            if let Some(result) = submit(&mut client, &cli, JobKind::Schedule { index })? {
+                println!("{}", render_response(&result));
+            }
+        }
+        "campaign" => {
+            let kind = JobKind::Campaign {
+                schedules: cli.schedules.clone().unwrap_or_else(|| (1..=4).collect()),
+                seed: cli.seed,
+                faults: cli.faults,
+                diagnosis: cli.diagnosis,
+            };
+            if let Some(result) = submit(&mut client, &cli, kind)? {
+                write_out(&cli.csv, field_str(&result, "csv")?, "campaign CSV")?;
+                write_out(&cli.json, field_str(&result, "json")?, "campaign JSON")?;
+                // The matrix artifacts go to files; print the summary
+                // without them.
+                let JsonValue::Obj(fields) = &result else {
+                    return Err("campaign result was not an object".into());
+                };
+                let summary = JsonValue::Obj(
+                    fields
+                        .iter()
+                        .filter(|(name, _)| name != "csv" && name != "json")
+                        .cloned()
+                        .collect(),
+                );
+                println!("{}", render_response(&summary));
+            }
+        }
+        "lint" => {
+            let program = match &cli.program {
+                None => None,
+                Some(path) => Some((
+                    path.clone(),
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+                )),
+            };
+            let kind = JobKind::Lint {
+                schedules: cli.schedules.clone().unwrap_or_else(|| (1..=4).collect()),
+                program,
+            };
+            if let Some(result) = submit(&mut client, &cli, kind)? {
+                println!("{}", render_response(&result));
+            }
+        }
+        "status" => {
+            let id = cli.id.ok_or("status wants --id N")?;
+            println!("{{\"id\":{id},\"state\":\"{}\"}}", client.status(id)?);
+        }
+        "result" => {
+            let id = cli.id.ok_or("result wants --id N")?;
+            let response = client.result(id, cli.wait)?;
+            write_out(&cli.out, &render_response(&response), "result")?;
+            println!("{}", render_response(&response));
+        }
+        "invalidate" => {
+            let response = client.invalidate(&workload(&cli), &cli.overrides)?;
+            println!("{}", render_response(&response));
+        }
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tve-client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `tve-serve` — the validation daemon.
+//!
+//! Binds a Unix-domain socket, warms a `tve-sched` farm, and serves
+//! schedule/campaign/lint jobs from the content-addressed result cache
+//! until a client sends `shutdown`. See `tve-client` for the matching
+//! CLI and `DESIGN.md` for the protocol.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tve_serve::{serve, ServeOptions};
+
+const USAGE: &str = "usage: tve-serve [options]
+  --socket PATH        listen here (default target/tve-serve.sock,
+                       or $TVE_SERVE_SOCKET)
+  --workers N          farm worker count (default: TVE_JOBS / cores)
+  --verify-cache F     re-execute each cache hit with probability F
+                       in [0, 1] and require bit-identical results
+  --quiet              suppress per-request logging
+";
+
+fn main() -> ExitCode {
+    let mut options = ServeOptions::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{what} wants a value"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match flag {
+                "--socket" => options.socket = PathBuf::from(value("--socket")?),
+                "--workers" => {
+                    options.workers = Some(
+                        value("--workers")?
+                            .parse::<usize>()
+                            .map_err(|e| format!("--workers: {e}"))?
+                            .max(1),
+                    )
+                }
+                "--verify-cache" => {
+                    let fraction = value("--verify-cache")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--verify-cache: {e}"))?;
+                    if !(0.0..=1.0).contains(&fraction) {
+                        return Err("--verify-cache wants a fraction in [0, 1]".into());
+                    }
+                    options.verify = Some(fraction);
+                }
+                "--quiet" => options.quiet = true,
+                "--help" | "-h" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = parsed {
+            eprintln!("tve-serve: {message}");
+            return ExitCode::from(2);
+        }
+        i += 1;
+    }
+    match serve(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tve-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

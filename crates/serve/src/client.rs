@@ -1,0 +1,170 @@
+//! A small synchronous client for the `tve-serve` protocol.
+//!
+//! One [`Client`] is one connection; requests on it are sequential
+//! (write a frame, read a frame). Open several clients for concurrent
+//! jobs — the daemon handles each connection on its own thread.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use tve_obs::{append_json_string, parse_json, JsonValue};
+use tve_soc::{PlanOverrides, Workload};
+
+use crate::proto::{encode_overrides, encode_workload, read_frame, write_frame, JobSpec};
+
+/// A connected `tve-serve` client.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `socket`.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Client {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Sends one raw request frame and returns the raw response text.
+    pub fn request_text(&mut self, request: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, request)?;
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::other("daemon closed the connection"))
+    }
+
+    /// Sends one request and returns the parsed response, mapping both
+    /// transport failures and `"ok": false` responses to `Err`.
+    pub fn request(&mut self, request: &str) -> Result<JsonValue, String> {
+        let text = self.request_text(request).map_err(|e| e.to_string())?;
+        let value = parse_json(&text).map_err(|e| format!("bad response: {e}"))?;
+        match value.get("ok").and_then(JsonValue::as_bool) {
+            Some(true) => Ok(value),
+            _ => Err(value
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("daemon reported failure")
+                .to_string()),
+        }
+    }
+
+    /// Round-trips a `ping`; returns the daemon's response object.
+    pub fn ping(&mut self) -> Result<JsonValue, String> {
+        self.request("{\"cmd\":\"ping\"}")
+    }
+
+    /// Fetches cache/serving statistics.
+    pub fn stats(&mut self) -> Result<JsonValue, String> {
+        self.request("{\"cmd\":\"stats\"}")
+    }
+
+    /// Submits `job` and blocks until it completes; returns the job's
+    /// `result` object.
+    pub fn submit(&mut self, job: &JobSpec) -> Result<JsonValue, String> {
+        let request = format!(
+            "{{\"cmd\":\"submit\",\"wait\":true,\"job\":{}}}",
+            job.to_json()
+        );
+        let response = self.request(&request)?;
+        response
+            .get("result")
+            .cloned()
+            .ok_or_else(|| "submit response had no result".to_string())
+    }
+
+    /// Submits `job` without waiting; returns its job id.
+    pub fn submit_async(&mut self, job: &JobSpec) -> Result<u64, String> {
+        let request = format!(
+            "{{\"cmd\":\"submit\",\"wait\":false,\"job\":{}}}",
+            job.to_json()
+        );
+        let response = self.request(&request)?;
+        response
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "submit response had no id".to_string())
+    }
+
+    /// Asks for a job's state (`"running"`, `"done"`, `"failed"`).
+    pub fn status(&mut self, id: u64) -> Result<String, String> {
+        let response = self.request(&format!("{{\"cmd\":\"status\",\"id\":{id}}}"))?;
+        response
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "status response had no state".to_string())
+    }
+
+    /// Fetches a job's result; with `wait` the daemon blocks until the
+    /// job finishes. Returns the whole response (state plus result).
+    pub fn result(&mut self, id: u64, wait: bool) -> Result<JsonValue, String> {
+        self.request(&format!(
+            "{{\"cmd\":\"result\",\"id\":{id},\"wait\":{wait}}}"
+        ))
+    }
+
+    /// Reports the blast radius of `edit` on `workload` and evicts the
+    /// affected cache entries.
+    pub fn invalidate(
+        &mut self,
+        workload: &Workload,
+        edit: &PlanOverrides,
+    ) -> Result<JsonValue, String> {
+        let mut request = String::from("{\"cmd\":\"invalidate\",\"workload\":");
+        encode_workload(workload, &mut request);
+        request.push_str(",\"edit\":");
+        encode_overrides(edit, &mut request);
+        request.push('}');
+        self.request(&request)
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request("{\"cmd\":\"shutdown\"}").map(|_| ())
+    }
+}
+
+/// Renders a response object as pretty single-line JSON for CLI output
+/// (string values re-escaped through the `tve-obs` emitter).
+pub fn render_response(value: &JsonValue) -> String {
+    let mut out = String::new();
+    render_into(value, &mut out);
+    out
+}
+
+fn render_into(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        JsonValue::Str(s) => append_json_string(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (name, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                append_json_string(out, name);
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}

@@ -1,0 +1,867 @@
+//! The `tve-serve` daemon: a Unix-domain socket server owning a warm
+//! [`Farm`] and the content-addressed [`ResultCache`].
+//!
+//! Connections are handled on one thread each; jobs submitted with
+//! `"wait": false` run on their own thread and are polled through the
+//! job table (`status` / `result`). All simulation fan-out inside a
+//! job goes through the shared farm, so `TVE_JOBS` governs the daemon
+//! exactly as it governs the batch bins — and results are
+//! byte-identical for any worker count, which is what makes caching
+//! across clients sound.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use tve_campaign::{
+    diagnose_scan_fault, generate, run_cell, CampaignConfig, CampaignReport, CellOutcome,
+    CellResult, FaultSpec, PopulationSpec,
+};
+use tve_core::Schedule;
+use tve_obs::{append_json_string, parse_json, JsonValue};
+use tve_sched::Farm;
+use tve_soc::{paper_schedules, run_scenario, ScenarioMetrics};
+
+use crate::cache::{CachedValue, ResultCache};
+use crate::invalidate::edit_impact;
+use crate::key::{cell_key, diagnosis_key, fnv1a, lint_key, schedule_tests, test_mask};
+use crate::proto::{read_frame, write_frame, JobKind, JobSpec};
+
+/// The default socket path (also the `TVE_SERVE_SOCKET` default).
+pub const DEFAULT_SOCKET: &str = "target/tve-serve.sock";
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Where to listen.
+    pub socket: PathBuf,
+    /// Farm worker override (`None` = `TVE_JOBS` / available cores).
+    pub workers: Option<usize>,
+    /// Daemon-wide cache-verification fraction: every cache hit is
+    /// re-executed with this probability and compared bit for bit.
+    /// Per-job `verify` fields override it.
+    pub verify: Option<f64>,
+    /// Suppress per-request logging.
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from(
+                std::env::var("TVE_SERVE_SOCKET").unwrap_or_else(|_| DEFAULT_SOCKET.into()),
+            ),
+            workers: None,
+            verify: None,
+            quiet: false,
+        }
+    }
+}
+
+enum JobState {
+    Running,
+    Done(String),
+    Failed(String),
+}
+
+#[derive(Default)]
+struct JobTable {
+    next_id: u64,
+    jobs: BTreeMap<u64, JobState>,
+}
+
+struct Shared {
+    cache: ResultCache,
+    farm: Farm,
+    quantum: String,
+    verify: Option<f64>,
+    socket: PathBuf,
+    quiet: bool,
+    jobs: Mutex<JobTable>,
+    jobs_cv: Condvar,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+}
+
+impl Shared {
+    fn verify_fraction(&self, job: &JobSpec) -> f64 {
+        job.verify.or(self.verify).unwrap_or(0.0)
+    }
+}
+
+/// Deterministic per-key sampling: whether a hit on `key` gets
+/// re-executed at `fraction`.
+fn verify_sampled(key: u64, fraction: f64) -> bool {
+    if fraction >= 1.0 {
+        return true;
+    }
+    if fraction <= 0.0 {
+        return false;
+    }
+    // splitmix64 of the key, mapped to [0, 1).
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as f64 / u64::MAX as f64) < fraction
+}
+
+/// A running daemon spawned in-process (tests, benches).
+pub struct DaemonHandle {
+    thread: std::thread::JoinHandle<io::Result<()>>,
+    /// The socket the daemon listens on.
+    pub socket: PathBuf,
+}
+
+impl DaemonHandle {
+    /// Waits for the daemon to exit (send `shutdown` first).
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("daemon thread panicked"))?
+    }
+}
+
+/// Binds and serves until a `shutdown` request arrives. Blocking.
+pub fn serve(options: &ServeOptions) -> io::Result<()> {
+    let (listener, shared) = bind(options)?;
+    accept_loop(listener, shared)
+}
+
+/// Binds, then serves on a background thread. The listener is bound
+/// before this returns, so clients may connect immediately.
+pub fn spawn(options: &ServeOptions) -> io::Result<DaemonHandle> {
+    let (listener, shared) = bind(options)?;
+    let socket = shared.socket.clone();
+    let thread = std::thread::Builder::new()
+        .name("tve-serve-accept".into())
+        .spawn(move || accept_loop(listener, shared))?;
+    Ok(DaemonHandle { thread, socket })
+}
+
+fn bind(options: &ServeOptions) -> io::Result<(UnixListener, Arc<Shared>)> {
+    if options.socket.exists() {
+        std::fs::remove_file(&options.socket)?;
+    }
+    if let Some(parent) = options.socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let listener = UnixListener::bind(&options.socket)?;
+    let farm = match options.workers {
+        Some(n) => Farm::with_workers(n),
+        None => Farm::new(),
+    };
+    let shared = Arc::new(Shared {
+        cache: ResultCache::new(),
+        farm,
+        quantum: std::env::var("TVE_QUANTUM").unwrap_or_default(),
+        verify: options.verify,
+        socket: options.socket.clone(),
+        quiet: options.quiet,
+        jobs: Mutex::new(JobTable::default()),
+        jobs_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+    });
+    if !options.quiet {
+        println!(
+            "tve-serve: listening on {} ({} farm workers, verify {:?}, quantum {:?})",
+            options.socket.display(),
+            shared.farm.workers(),
+            options.verify,
+            shared.quantum
+        );
+    }
+    Ok((listener, shared))
+}
+
+fn accept_loop(listener: UnixListener, shared: Arc<Shared>) -> io::Result<()> {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("tve-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, &shared);
+            })?;
+    }
+    let _ = std::fs::remove_file(&shared.socket);
+    if !shared.quiet {
+        println!(
+            "tve-serve: shut down after {} requests, cache {:?}",
+            shared.requests.load(Ordering::SeqCst),
+            shared.cache.stats()
+        );
+    }
+    Ok(())
+}
+
+fn handle_connection(mut stream: UnixStream, shared: &Arc<Shared>) -> io::Result<()> {
+    while let Some(text) = read_frame(&mut stream)? {
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        let response = match dispatch(&text, shared) {
+            Ok(body) => body,
+            Err(message) => {
+                let mut out = String::from("{\"ok\":false,\"error\":");
+                append_json_string(&mut out, &message);
+                out.push('}');
+                out
+            }
+        };
+        write_frame(&mut stream, &response)?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Wake the acceptor so the daemon can exit its blocking
+            // accept and tear the socket down.
+            let _ = UnixStream::connect(&shared.socket);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
+    let request = parse_json(text).map_err(|e| format!("bad request: {e}"))?;
+    let cmd = request
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or("request wants a \"cmd\" string")?;
+    match cmd {
+        "ping" => Ok(format!(
+            "{{\"ok\":true,\"pid\":{},\"workers\":{},\"quantum\":\"{}\"}}",
+            std::process::id(),
+            shared.farm.workers(),
+            shared.quantum
+        )),
+        "stats" => Ok(stats_response(shared)),
+        "shutdown" => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Ok("{\"ok\":true}".into())
+        }
+        "submit" => {
+            let job = JobSpec::from_json(request.get("job").ok_or("submit wants a \"job\"")?)?;
+            let wait = request
+                .get("wait")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(true);
+            let id = {
+                let mut table = shared.jobs.lock().expect("job table lock");
+                table.next_id += 1;
+                let id = table.next_id;
+                table.jobs.insert(id, JobState::Running);
+                id
+            };
+            if wait {
+                let result = execute(shared, &job);
+                finish_job(shared, id, &result);
+                let body = result?;
+                Ok(format!("{{\"ok\":true,\"id\":{id},\"result\":{body}}}"))
+            } else {
+                let job_shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("tve-serve-job-{id}"))
+                    .spawn(move || {
+                        let result = execute(&job_shared, &job);
+                        finish_job(&job_shared, id, &result);
+                    })
+                    .map_err(|e| format!("cannot spawn job thread: {e}"))?;
+                Ok(format!("{{\"ok\":true,\"id\":{id},\"state\":\"running\"}}"))
+            }
+        }
+        "status" | "result" => {
+            let id = request
+                .get("id")
+                .and_then(JsonValue::as_u64)
+                .ok_or("wants an \"id\"")?;
+            let wait = cmd == "result"
+                && request
+                    .get("wait")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(false);
+            let mut table = shared.jobs.lock().expect("job table lock");
+            if wait {
+                while matches!(table.jobs.get(&id), Some(JobState::Running)) {
+                    table = shared
+                        .jobs_cv
+                        .wait(table)
+                        .expect("job table lock (condvar)");
+                }
+            }
+            match table.jobs.get(&id) {
+                None => Err(format!("unknown job id {id}")),
+                Some(JobState::Running) => {
+                    Ok(format!("{{\"ok\":true,\"id\":{id},\"state\":\"running\"}}"))
+                }
+                Some(JobState::Failed(message)) => {
+                    let mut out =
+                        format!("{{\"ok\":true,\"id\":{id},\"state\":\"failed\",\"error\":");
+                    append_json_string(&mut out, message);
+                    out.push('}');
+                    Ok(out)
+                }
+                Some(JobState::Done(body)) => {
+                    if cmd == "status" {
+                        Ok(format!("{{\"ok\":true,\"id\":{id},\"state\":\"done\"}}"))
+                    } else {
+                        Ok(format!(
+                            "{{\"ok\":true,\"id\":{id},\"state\":\"done\",\"result\":{body}}}"
+                        ))
+                    }
+                }
+            }
+        }
+        "invalidate" => {
+            let workload = crate::proto::decode_workload(
+                request
+                    .get("workload")
+                    .ok_or("invalidate wants a \"workload\"")?,
+            )?;
+            let edit = crate::proto::decode_overrides(
+                request.get("edit").ok_or("invalidate wants an \"edit\"")?,
+            )?;
+            let (config, plan) = workload.build();
+            let facts = tve_lint::soc_facts(&config, &plan);
+            let impact = edit_impact(&facts, &edit, &paper_schedules());
+            let evicted = shared.cache.evict_tests(impact.touched_mask);
+            let mut out = format!(
+                "{{\"ok\":true,\"evicted\":{evicted},\"touched_tests\":[{}],\"cores\":[",
+                impact
+                    .touched_tests
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            for (i, core) in impact.cores.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                append_json_string(&mut out, core);
+            }
+            out.push_str("],\"affected_schedules\":[");
+            for (i, name) in impact.affected_schedules.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                append_json_string(&mut out, name);
+            }
+            out.push_str("]}");
+            Ok(out)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn finish_job(shared: &Shared, id: u64, result: &Result<String, String>) {
+    let mut table = shared.jobs.lock().expect("job table lock");
+    let state = match result {
+        Ok(body) => JobState::Done(body.clone()),
+        Err(message) => JobState::Failed(message.clone()),
+    };
+    table.jobs.insert(id, state);
+    shared.jobs_cv.notify_all();
+}
+
+fn stats_response(shared: &Shared) -> String {
+    let stats = shared.cache.stats();
+    let jobs = shared.jobs.lock().expect("job table lock").jobs.len();
+    format!(
+        "{{\"ok\":true,\"entries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
+         \"evicted\":{},\"verified\":{},\"verify_failures\":{},\"jobs\":{jobs},\
+         \"uptime_ms\":{},\"workers\":{}}}",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.evicted,
+        stats.verified,
+        stats.verify_failures,
+        shared.started.elapsed().as_millis(),
+        shared.farm.workers()
+    )
+}
+
+fn selected_schedules(indices: &[usize]) -> Vec<Schedule> {
+    let all = paper_schedules();
+    indices.iter().map(|&i| all[i - 1].clone()).collect()
+}
+
+fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
+    let started = Instant::now();
+    let body = match &job.kind {
+        JobKind::Schedule { index } => run_schedule_job(shared, job, *index),
+        JobKind::Campaign {
+            schedules,
+            seed,
+            faults,
+            diagnosis,
+        } => run_campaign_job(shared, job, schedules, *seed, *faults, *diagnosis),
+        JobKind::Lint { schedules, program } => run_lint_job(shared, job, schedules, program),
+    }?;
+    if !shared.quiet {
+        println!(
+            "tve-serve: job done in {:.1} ms ({})",
+            started.elapsed().as_secs_f64() * 1e3,
+            match &job.kind {
+                JobKind::Schedule { index } => format!("schedule {index}"),
+                JobKind::Campaign { schedules, .. } =>
+                    format!("campaign over {} schedules", schedules.len()),
+                JobKind::Lint { schedules, .. } => format!("lint {} schedules", schedules.len()),
+            }
+        );
+    }
+    // Close the wall-clock over the whole job, cache time included.
+    let wall_us = started.elapsed().as_micros();
+    Ok(format!("{{{body},\"wall_us\":{wall_us}}}"))
+}
+
+/// Runs or serves one fault-free schedule; body fields only (caller
+/// wraps the braces and appends timing).
+fn run_schedule_job(shared: &Shared, job: &JobSpec, index: usize) -> Result<String, String> {
+    let (config, plan) = job.workload.build();
+    let schedule = selected_schedules(&[index]).remove(0);
+    let key = cell_key(&config, &plan, &schedule, "golden", &shared.quantum);
+    let mask = test_mask(&schedule_tests(&schedule));
+    let fraction = shared.verify_fraction(job);
+
+    let (metrics, cached) = match shared.cache.lookup(key) {
+        Some(CachedValue::Metrics(metrics)) => {
+            let metrics = *metrics;
+            if verify_sampled(key, fraction) {
+                let fresh = run_scenario(&config, &plan, &schedule).map_err(|e| e.to_string())?;
+                let ok = fresh.digest() == metrics.digest();
+                shared.cache.record_verified(1, u64::from(!ok));
+                if !ok {
+                    return Err(format!(
+                        "verify-cache mismatch on '{}': cached {:#018x} vs fresh {:#018x}",
+                        schedule.name,
+                        metrics.digest(),
+                        fresh.digest()
+                    ));
+                }
+            }
+            (metrics, true)
+        }
+        Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+        None => {
+            let metrics = run_scenario(&config, &plan, &schedule).map_err(|e| e.to_string())?;
+            shared
+                .cache
+                .insert(key, CachedValue::Metrics(Box::new(metrics.clone())), mask);
+            (metrics, false)
+        }
+    };
+
+    let mut out = String::from("\"kind\":\"schedule\",\"schedule\":");
+    append_json_string(&mut out, &schedule.name);
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        ",\"digest\":\"{:#018x}\",\"peak\":{:.6},\"avg\":{:.6},\"cycles\":{},\"clean\":{},\"cached\":{cached}",
+        metrics.digest(),
+        metrics.peak_utilization,
+        metrics.avg_utilization,
+        metrics.total_cycles,
+        metrics.result.clean()
+    );
+    Ok(out)
+}
+
+fn run_campaign_job(
+    shared: &Shared,
+    job: &JobSpec,
+    schedule_indices: &[usize],
+    seed: u64,
+    faults: usize,
+    diagnosis: bool,
+) -> Result<String, String> {
+    let (config, plan) = job.workload.build();
+    let schedules = selected_schedules(schedule_indices);
+    let spec = PopulationSpec {
+        seed,
+        scan_cells_per_core: faults,
+        memory_faults: faults,
+        ..PopulationSpec::default()
+    };
+    let population = generate(&spec, &config);
+    let fraction = shared.verify_fraction(job);
+    let mut verified = 0u64;
+    let mut verify_failures: Vec<String> = Vec::new();
+
+    // Golden baselines: serve hits, farm the misses.
+    let golden_keys: Vec<u64> = schedules
+        .iter()
+        .map(|s| cell_key(&config, &plan, s, "golden", &shared.quantum))
+        .collect();
+    let mut golden: BTreeMap<String, ScenarioMetrics> = BTreeMap::new();
+    let mut golden_missing: Vec<Schedule> = Vec::new();
+    let mut golden_hit_indices: Vec<usize> = Vec::new();
+    for (i, schedule) in schedules.iter().enumerate() {
+        match shared.cache.lookup(golden_keys[i]) {
+            Some(CachedValue::Metrics(metrics)) => {
+                golden.insert(schedule.name.clone(), *metrics);
+                golden_hit_indices.push(i);
+            }
+            Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+            None => golden_missing.push(schedule.clone()),
+        }
+    }
+    let goldens_simulated = golden_missing.len();
+    if !golden_missing.is_empty() {
+        let (results, _, _) = shared.farm.run_map(&golden_missing, |schedule| {
+            run_scenario(&config, &plan, schedule).map_err(|e| e.to_string())
+        });
+        for (schedule, (_, result)) in golden_missing.iter().zip(results) {
+            let metrics = result
+                .map_err(|panic| format!("golden run of '{}' panicked: {panic}", schedule.name))?
+                .map_err(|e| format!("golden run of '{}' failed: {e}", schedule.name))?;
+            if !metrics.result.clean() {
+                return Err(format!(
+                    "golden run of '{}' reported errors: {}",
+                    schedule.name, metrics.result
+                ));
+            }
+            let key = cell_key(&config, &plan, schedule, "golden", &shared.quantum);
+            shared.cache.insert(
+                key,
+                CachedValue::Metrics(Box::new(metrics.clone())),
+                test_mask(&schedule_tests(schedule)),
+            );
+            golden.insert(schedule.name.clone(), metrics);
+        }
+    }
+    // Sampled re-execution of golden hits.
+    let golden_to_verify: Vec<Schedule> = golden_hit_indices
+        .iter()
+        .filter(|&&i| verify_sampled(golden_keys[i], fraction))
+        .map(|&i| schedules[i].clone())
+        .collect();
+    if !golden_to_verify.is_empty() {
+        let (results, _, _) = shared.farm.run_map(&golden_to_verify, |schedule| {
+            run_scenario(&config, &plan, schedule).map_err(|e| e.to_string())
+        });
+        for (schedule, (_, result)) in golden_to_verify.iter().zip(results) {
+            verified += 1;
+            let fresh_digest = match result {
+                Ok(Ok(m)) => m.digest(),
+                _ => 0,
+            };
+            if golden[&schedule.name].digest() != fresh_digest {
+                verify_failures.push(format!("golden '{}'", schedule.name));
+            }
+        }
+    }
+
+    // The (fault × schedule) matrix, fault-major, cache-aware.
+    let cells: Vec<(usize, usize)> = (0..population.len())
+        .flat_map(|f| (0..schedules.len()).map(move |s| (f, s)))
+        .collect();
+    let cell_keys: Vec<u64> = cells
+        .iter()
+        .map(|&(fi, si)| {
+            cell_key(
+                &config,
+                &plan,
+                &schedules[si],
+                &population[fi].id(),
+                &shared.quantum,
+            )
+        })
+        .collect();
+    let mut outcomes: Vec<Option<CellOutcome>> = vec![None; cells.len()];
+    let mut missing: Vec<(usize, usize, usize)> = Vec::new(); // (cell idx, fi, si)
+    let mut hit_cells: Vec<usize> = Vec::new();
+    for (ci, &(fi, si)) in cells.iter().enumerate() {
+        match shared.cache.lookup(cell_keys[ci]) {
+            Some(CachedValue::Cell(outcome)) => {
+                outcomes[ci] = Some(outcome);
+                hit_cells.push(ci);
+            }
+            Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+            None => missing.push((ci, fi, si)),
+        }
+    }
+    let cells_simulated = missing.len();
+    if !missing.is_empty() {
+        let (results, _, _) = shared.farm.run_map(&missing, |&(_, fi, si)| {
+            run_cell(
+                &config,
+                &plan,
+                &schedules[si],
+                &population[fi],
+                &golden[&schedules[si].name],
+            )
+        });
+        for (&(ci, fi, si), (_, result)) in missing.iter().zip(results) {
+            let outcome =
+                result.unwrap_or_else(|panic_msg| CellOutcome::InfraFailure { error: panic_msg });
+            shared.cache.insert(
+                cell_keys[ci],
+                CachedValue::Cell(outcome.clone()),
+                test_mask(&schedule_tests(&schedules[si])),
+            );
+            let _ = fi;
+            outcomes[ci] = Some(outcome);
+        }
+    }
+    // Sampled re-execution of cell hits.
+    let cells_to_verify: Vec<(usize, usize, usize)> = hit_cells
+        .iter()
+        .filter(|&&ci| verify_sampled(cell_keys[ci], fraction))
+        .map(|&ci| (ci, cells[ci].0, cells[ci].1))
+        .collect();
+    if !cells_to_verify.is_empty() {
+        let (results, _, _) = shared.farm.run_map(&cells_to_verify, |&(_, fi, si)| {
+            run_cell(
+                &config,
+                &plan,
+                &schedules[si],
+                &population[fi],
+                &golden[&schedules[si].name],
+            )
+        });
+        for (&(ci, fi, _), (_, result)) in cells_to_verify.iter().zip(results) {
+            verified += 1;
+            let fresh =
+                result.unwrap_or_else(|panic_msg| CellOutcome::InfraFailure { error: panic_msg });
+            if outcomes[ci].as_ref() != Some(&fresh) {
+                verify_failures.push(format!(
+                    "cell {} x '{}'",
+                    population[fi].id(),
+                    schedules[cells[ci].1].name
+                ));
+            }
+        }
+    }
+
+    let results: Vec<CellResult> = cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(fi, si), outcome)| CellResult {
+            fault_id: population[fi].id(),
+            fault_class: population[fi].class().to_string(),
+            schedule: schedules[si].name.clone(),
+            outcome: outcome.clone().expect("every cell resolved"),
+        })
+        .collect();
+
+    // Diagnosis cross-check, cached per fault (independent of the
+    // schedules, so entries survive schedule-set changes).
+    let mut diagnosis_checks = Vec::new();
+    let mut diagnoses_simulated = 0usize;
+    if diagnosis {
+        let campaign_config = CampaignConfig::new(
+            config.clone(),
+            plan.clone(),
+            schedules.clone(),
+            population.clone(),
+        );
+        let detected_scan: Vec<FaultSpec> = population
+            .iter()
+            .filter(|f| matches!(f, FaultSpec::ScanCell { .. }))
+            .filter(|f| {
+                results.iter().any(|r| {
+                    r.fault_id == f.id() && matches!(r.outcome, CellOutcome::Detected { .. })
+                })
+            })
+            .cloned()
+            .collect();
+        let mut diag_missing = Vec::new();
+        let mut diag_results: Vec<Option<tve_campaign::DiagnosisCheck>> =
+            vec![None; detected_scan.len()];
+        for (i, fault) in detected_scan.iter().enumerate() {
+            let key = diagnosis_key(
+                &config,
+                plan.seed,
+                campaign_config.diagnosis_patterns,
+                campaign_config.diagnosis_window,
+                &fault.id(),
+            );
+            match shared.cache.lookup(key) {
+                Some(CachedValue::Diagnosis(check)) => diag_results[i] = Some(*check),
+                Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+                None => diag_missing.push((i, fault.clone())),
+            }
+        }
+        diagnoses_simulated = diag_missing.len();
+        if !diag_missing.is_empty() {
+            let (checks, _, _) = shared.farm.run_map(&diag_missing, |(_, fault)| {
+                let FaultSpec::ScanCell { core, cell } = fault else {
+                    unreachable!("filtered to scan faults");
+                };
+                diagnose_scan_fault(&campaign_config, *core, *cell)
+            });
+            for ((i, fault), (_, check)) in diag_missing.iter().zip(checks) {
+                let check = check.map_err(|panic| format!("diagnosis panicked: {panic}"))?;
+                let key = diagnosis_key(
+                    &config,
+                    plan.seed,
+                    campaign_config.diagnosis_patterns,
+                    campaign_config.diagnosis_window,
+                    &fault.id(),
+                );
+                shared
+                    .cache
+                    .insert(key, CachedValue::Diagnosis(Box::new(check.clone())), 0);
+                diag_results[*i] = Some(check);
+            }
+        }
+        diagnosis_checks = diag_results
+            .into_iter()
+            .map(|c| c.expect("every diagnosis resolved"))
+            .collect();
+    }
+
+    shared
+        .cache
+        .record_verified(verified, verify_failures.len() as u64);
+    if !verify_failures.is_empty() {
+        return Err(format!(
+            "verify-cache mismatch on {} of {verified} sampled hits: {}",
+            verify_failures.len(),
+            verify_failures.join(", ")
+        ));
+    }
+
+    let report = CampaignReport {
+        schedules: schedules.iter().map(|s| s.name.clone()).collect(),
+        prescreened: Vec::new(),
+        cells: results,
+        diagnosis: diagnosis_checks,
+    };
+    let csv = report.to_csv();
+    let json = report.to_json();
+
+    use std::fmt::Write;
+    let mut out = String::with_capacity(csv.len() + json.len() + 512);
+    let _ = write!(
+        out,
+        "\"kind\":\"campaign\",\"cells\":{},\"cells_simulated\":{cells_simulated},\
+         \"cells_cached\":{},\"goldens_simulated\":{goldens_simulated},\
+         \"diagnoses_simulated\":{diagnoses_simulated},\"verified\":{verified},\
+         \"csv_digest\":\"{:#018x}\",\"union_escapes\":{},\
+         \"all_diagnoses_confirmed\":{},\"coverage\":[",
+        report.cells.len(),
+        report.cells.len() - cells_simulated,
+        fnv1a(csv.as_bytes()),
+        report.union_escapes().len(),
+        report.all_diagnoses_confirmed()
+    );
+    for (i, schedule) in report.schedules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"schedule\":");
+        append_json_string(&mut out, schedule);
+        let _ = write!(
+            out,
+            ",\"core_coverage\":{:.6},\"escapes\":{}}}",
+            report.core_coverage(schedule),
+            report.escapes(schedule).len()
+        );
+    }
+    out.push_str("],\"csv\":");
+    append_json_string(&mut out, &csv);
+    out.push_str(",\"json\":");
+    append_json_string(&mut out, &json);
+    Ok(out)
+}
+
+fn run_lint_job(
+    shared: &Shared,
+    job: &JobSpec,
+    schedule_indices: &[usize],
+    program: &Option<(String, String)>,
+) -> Result<String, String> {
+    let (config, plan) = job.workload.build();
+    let schedules = selected_schedules(schedule_indices);
+    let fraction = shared.verify_fraction(job);
+    // One cache entry per lint job shape: key over every schedule plus
+    // the program. Lint consumes the whole plan (facts), so the key
+    // uses no projection and the entry carries the full test mask.
+    let mut key_text = String::new();
+    for schedule in &schedules {
+        use std::fmt::Write;
+        let _ = write!(
+            key_text,
+            "{:#018x}|",
+            lint_key(
+                &config,
+                &plan,
+                schedule,
+                program.as_ref().map(|(n, t)| (n.as_str(), t.as_str()))
+            )
+        );
+    }
+    let key = fnv1a(key_text.as_bytes());
+
+    let compute = || -> (String, usize, usize) {
+        let facts = tve_lint::soc_facts(&config, &plan);
+        let mut reports: Vec<tve_lint::LintReport> = schedules
+            .iter()
+            .map(|s| tve_lint::lint_schedule_report(s, &facts))
+            .collect();
+        if let Some((name, text)) = program {
+            reports.push(tve_lint::lint_program_report(name, text, &facts));
+        }
+        let errors = reports
+            .iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.severity == tve_lint::Severity::Error)
+            .count();
+        let warnings = reports
+            .iter()
+            .flat_map(|r| &r.diagnostics)
+            .filter(|d| d.severity == tve_lint::Severity::Warning)
+            .count();
+        (tve_lint::reports_to_json(&reports), errors, warnings)
+    };
+
+    let (report, errors, warnings, cached) = match shared.cache.lookup(key) {
+        Some(CachedValue::Lint {
+            report,
+            errors,
+            warnings,
+        }) => {
+            if verify_sampled(key, fraction) {
+                let (fresh, fresh_errors, fresh_warnings) = compute();
+                let ok = fresh == report && fresh_errors == errors && fresh_warnings == warnings;
+                shared.cache.record_verified(1, u64::from(!ok));
+                if !ok {
+                    return Err("verify-cache mismatch on lint report".into());
+                }
+            }
+            (report, errors, warnings, true)
+        }
+        Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+        None => {
+            let (report, errors, warnings) = compute();
+            shared.cache.insert(
+                key,
+                CachedValue::Lint {
+                    report: report.clone(),
+                    errors,
+                    warnings,
+                },
+                0x7f,
+            );
+            (report, errors, warnings, false)
+        }
+    };
+
+    let mut out = format!(
+        "\"kind\":\"lint\",\"errors\":{errors},\"warnings\":{warnings},\"cached\":{cached},\"report\":"
+    );
+    append_json_string(&mut out, &report);
+    Ok(out)
+}

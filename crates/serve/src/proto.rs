@@ -1,0 +1,405 @@
+//! The wire protocol: length-prefixed JSON frames over a Unix-domain
+//! socket.
+//!
+//! Every message — request or response — is one frame: a 4-byte
+//! little-endian payload length followed by exactly that many bytes of
+//! UTF-8 JSON. JSON is read with `tve-obs`'s serde-free
+//! [`parse_json`](tve_obs::parse_json) and written by hand with
+//! [`append_json_string`](tve_obs::append_json_string) — no new
+//! dependencies anywhere on the wire.
+//!
+//! Requests are objects with a `cmd` member (`ping`, `submit`,
+//! `status`, `result`, `stats`, `invalidate`, `shutdown`); responses
+//! are objects with an `ok` boolean (plus `error` text when false).
+//! The full shape of each message is specified in `DESIGN.md`.
+
+use std::io::{self, Read, Write};
+
+use tve_obs::JsonValue;
+use tve_soc::{PlanOverrides, Workload, WorkloadPreset, PLAN_OVERRIDE_KEYS};
+
+/// Upper bound on one frame's payload (a full campaign matrix embeds
+/// its CSV and JSON artifacts, so frames can be sizable — but never
+/// this sizable unless something is broken).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes `text` as one frame.
+pub fn write_frame(w: &mut impl Write, text: &str) -> io::Result<()> {
+    let len = u32::try_from(text.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream before the
+/// length prefix (the peer hung up between messages).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// One job a client can submit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The workload the job runs against.
+    pub workload: Workload,
+    /// What to do with it.
+    pub kind: JobKind,
+    /// Cache-verification fraction for this job (overrides the
+    /// daemon-wide `--verify-cache` setting when present): each cache
+    /// hit is re-executed with this probability and the results must
+    /// match bit for bit.
+    pub verify: Option<f64>,
+}
+
+/// The job kinds the daemon serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Run one Table-I schedule (1-based index) fault-free.
+    Schedule {
+        /// 1-based index into the paper schedules.
+        index: usize,
+    },
+    /// Run a fault campaign over the given schedules.
+    Campaign {
+        /// 1-based schedule indices.
+        schedules: Vec<usize>,
+        /// Population seed.
+        seed: u64,
+        /// Sampled scan cells per core and memory faults.
+        faults: usize,
+        /// Whether to run the diagnosis cross-check.
+        diagnosis: bool,
+    },
+    /// Statically lint the given schedules (and optionally one ATE
+    /// program) against the workload's plan facts.
+    Lint {
+        /// 1-based schedule indices.
+        schedules: Vec<usize>,
+        /// Optional `(name, text)` of an ATE program to lint too.
+        program: Option<(String, String)>,
+    },
+}
+
+/// Appends `workload` as a JSON object.
+pub fn encode_workload(workload: &Workload, out: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"preset\":\"{}\",\"scale\":{}",
+        workload.preset.name(),
+        workload.scale
+    );
+    if let Some(words) = workload.mem_words {
+        let _ = write!(out, ",\"mem_words\":{words}");
+    }
+    if !workload.overrides.is_empty() {
+        out.push_str(",\"overrides\":");
+        encode_overrides(&workload.overrides, out);
+    }
+    out.push('}');
+}
+
+/// Appends `overrides` as a JSON object.
+pub fn encode_overrides(overrides: &PlanOverrides, out: &mut String) {
+    use std::fmt::Write;
+    out.push('{');
+    for (i, (key, value)) in overrides.entries().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{key}\":{value}");
+    }
+    out.push('}');
+}
+
+/// Decodes a workload object.
+pub fn decode_workload(v: &JsonValue) -> Result<Workload, String> {
+    let preset_name = v
+        .get("preset")
+        .and_then(JsonValue::as_str)
+        .ok_or("workload wants a \"preset\" string")?;
+    let preset = WorkloadPreset::parse(preset_name)
+        .ok_or_else(|| format!("unknown preset {preset_name:?}"))?;
+    let mut workload = Workload::new(preset);
+    if let Some(scale) = v.get("scale") {
+        workload.scale = scale
+            .as_u64()
+            .ok_or("\"scale\" wants a non-negative integer")?
+            .max(1);
+    }
+    if let Some(words) = v.get("mem_words") {
+        workload.mem_words = Some(
+            u32::try_from(words.as_u64().ok_or("\"mem_words\" wants an integer")?)
+                .map_err(|_| "\"mem_words\" out of range")?,
+        );
+    }
+    if let Some(overrides) = v.get("overrides") {
+        workload.overrides = decode_overrides(overrides)?;
+    }
+    Ok(workload)
+}
+
+/// Decodes a plan-overrides object (unknown keys are an error — a
+/// typo'd key would otherwise silently validate the wrong plan).
+pub fn decode_overrides(v: &JsonValue) -> Result<PlanOverrides, String> {
+    let JsonValue::Obj(members) = v else {
+        return Err("\"overrides\" wants an object".into());
+    };
+    let mut overrides = PlanOverrides::default();
+    for (key, value) in members {
+        let value = value
+            .as_u64()
+            .ok_or_else(|| format!("override {key:?} wants a non-negative integer"))?;
+        if !overrides.set(key, value) {
+            return Err(format!(
+                "unknown override {key:?} (known: {})",
+                PLAN_OVERRIDE_KEYS.join(", ")
+            ));
+        }
+    }
+    Ok(overrides)
+}
+
+fn decode_indices(v: Option<&JsonValue>, what: &str) -> Result<Vec<usize>, String> {
+    let Some(v) = v else {
+        return Ok((1..=4).collect());
+    };
+    let items = v
+        .as_arr()
+        .ok_or_else(|| format!("{what} wants an array of 1-based schedule indices"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let i = item
+            .as_u64()
+            .filter(|&i| (1..=4).contains(&i))
+            .ok_or_else(|| format!("{what} indices must be 1..=4"))?;
+        out.push(i as usize);
+    }
+    if out.is_empty() {
+        return Err(format!("{what} must not be empty"));
+    }
+    Ok(out)
+}
+
+impl JobSpec {
+    /// Renders the job as its wire JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"kind\":");
+        match &self.kind {
+            JobKind::Schedule { index } => {
+                let _ = write!(out, "\"schedule\",\"schedule\":{index}");
+            }
+            JobKind::Campaign {
+                schedules,
+                seed,
+                faults,
+                diagnosis,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"campaign\",\"schedules\":[{}],\"seed\":{seed},\"faults\":{faults},\"diagnosis\":{diagnosis}",
+                    schedules
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+            JobKind::Lint { schedules, program } => {
+                let _ = write!(
+                    out,
+                    "\"lint\",\"schedules\":[{}]",
+                    schedules
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                if let Some((name, text)) = program {
+                    out.push_str(",\"program_name\":");
+                    tve_obs::append_json_string(&mut out, name);
+                    out.push_str(",\"program\":");
+                    tve_obs::append_json_string(&mut out, text);
+                }
+            }
+        }
+        out.push_str(",\"workload\":");
+        encode_workload(&self.workload, &mut out);
+        if let Some(fraction) = self.verify {
+            let _ = write!(out, ",\"verify\":{fraction}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decodes a wire job object.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let workload = decode_workload(v.get("workload").ok_or("job wants a \"workload\"")?)?;
+        let verify = match v.get("verify") {
+            None => None,
+            Some(f) => Some(
+                f.as_f64()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or("\"verify\" wants a fraction in [0, 1]")?,
+            ),
+        };
+        let kind = match v.get("kind").and_then(JsonValue::as_str) {
+            Some("schedule") => JobKind::Schedule {
+                index: v
+                    .get("schedule")
+                    .and_then(JsonValue::as_u64)
+                    .filter(|&i| (1..=4).contains(&i))
+                    .ok_or("schedule jobs want \"schedule\": 1..=4")?
+                    as usize,
+            },
+            Some("campaign") => JobKind::Campaign {
+                schedules: decode_indices(v.get("schedules"), "\"schedules\"")?,
+                seed: v.get("seed").and_then(JsonValue::as_u64).unwrap_or(0),
+                faults: v
+                    .get("faults")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(4)
+                    .min(64) as usize,
+                diagnosis: v
+                    .get("diagnosis")
+                    .and_then(JsonValue::as_bool)
+                    .unwrap_or(true),
+            },
+            Some("lint") => {
+                let program = match (
+                    v.get("program_name").and_then(JsonValue::as_str),
+                    v.get("program").and_then(JsonValue::as_str),
+                ) {
+                    (Some(name), Some(text)) => Some((name.to_string(), text.to_string())),
+                    (None, None) => None,
+                    _ => return Err("lint program wants both name and text".into()),
+                };
+                JobKind::Lint {
+                    schedules: decode_indices(v.get("schedules"), "\"schedules\"")?,
+                    program,
+                }
+            }
+            Some(other) => return Err(format!("unknown job kind {other:?}")),
+            None => return Err("job wants a \"kind\" string".into()),
+        };
+        Ok(JobSpec {
+            workload,
+            kind,
+            verify,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tve_obs::{check_json, parse_json};
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"cmd\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("{\"cmd\":\"ping\"}")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+        // An oversized length prefix is rejected before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn job_specs_round_trip() {
+        let mut overrides = PlanOverrides::default();
+        overrides.set("det_proc_patterns", 42);
+        let jobs = [
+            JobSpec {
+                workload: Workload::small().with_mem_words(64),
+                kind: JobKind::Schedule { index: 2 },
+                verify: Some(1.0),
+            },
+            JobSpec {
+                workload: Workload::small().with_overrides(overrides),
+                kind: JobKind::Campaign {
+                    schedules: vec![1, 3],
+                    seed: 20090417,
+                    faults: 2,
+                    diagnosis: false,
+                },
+                verify: None,
+            },
+            JobSpec {
+                workload: Workload::paper().with_scale(100),
+                kind: JobKind::Lint {
+                    schedules: vec![1, 2, 3, 4],
+                    program: Some(("prog.tvp".into(), "test \"t1\"\n".into())),
+                },
+                verify: None,
+            },
+        ];
+        for job in jobs {
+            let text = job.to_json();
+            check_json(&text).unwrap_or_else(|e| panic!("bad JSON {text:?}: {e}"));
+            let back = JobSpec::from_json(&parse_json(&text).unwrap()).unwrap();
+            assert_eq!(back, job);
+        }
+    }
+
+    #[test]
+    fn bad_jobs_are_rejected_with_reasons() {
+        for (doc, needle) in [
+            (
+                r#"{"kind":"schedule","schedule":9,"workload":{"preset":"small"}}"#,
+                "1..=4",
+            ),
+            (
+                r#"{"kind":"schedule","schedule":1,"workload":{"preset":"huge"}}"#,
+                "preset",
+            ),
+            (r#"{"kind":"nope","workload":{"preset":"small"}}"#, "kind"),
+            (
+                r#"{"kind":"schedule","schedule":1,"workload":{"preset":"small","overrides":{"oops":1}}}"#,
+                "unknown override",
+            ),
+            (
+                r#"{"kind":"schedule","schedule":1,"workload":{"preset":"small"},"verify":7}"#,
+                "[0, 1]",
+            ),
+        ] {
+            let err = JobSpec::from_json(&parse_json(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{doc}: {err}");
+        }
+    }
+}

@@ -11,7 +11,9 @@ use std::rc::Rc;
 
 use tve_memtest::{Fault, RepairableMemory};
 use tve_sim::{Duration, SimHandle};
-use tve_tlm::{Command, LocalBoxFuture, PowerMeter, ResponseStatus, TamIf, Transaction};
+use tve_tlm::{
+    Command, DmiAccess, InitiatorId, LocalBoxFuture, PowerMeter, ResponseStatus, TamIf, Transaction,
+};
 
 use crate::jpeg;
 
@@ -196,6 +198,56 @@ impl TamIf for MemoryCore {
             }
         }
         txn.status = ResponseStatus::Ok;
+    }
+
+    /// The memory grants direct access to any in-bounds word window; it
+    /// is the leaf of the DMI chain (bus → wrapper → here).
+    fn dmi_window(
+        self: Rc<Self>,
+        base: u32,
+        words: u32,
+        _initiator: InitiatorId,
+    ) -> Option<Rc<dyn DmiAccess>> {
+        if words == 0 {
+            return None;
+        }
+        let len = self.mem.borrow().len() as u32;
+        let index = base.checked_sub(self.base_addr)?;
+        let last = index.checked_add(words - 1)?;
+        if last >= len {
+            return None;
+        }
+        Some(self)
+    }
+}
+
+/// Per-word direct access: exactly the side effects of a single-word
+/// [`TamIf::transport_sync`] — power recorded before the access when
+/// metered, read/write counters bumped by the array itself.
+impl DmiAccess for MemoryCore {
+    fn dmi_read(&self, addr: u32) -> Option<u32> {
+        let index = addr.wrapping_sub(self.base_addr);
+        let mut mem = self.mem.borrow_mut();
+        if index >= mem.len() as u32 {
+            return None;
+        }
+        if self.powered.get() {
+            self.record_power(1);
+        }
+        Some(mem.read(index))
+    }
+
+    fn dmi_write(&self, addr: u32, value: u32) -> bool {
+        let index = addr.wrapping_sub(self.base_addr);
+        let mut mem = self.mem.borrow_mut();
+        if index >= mem.len() as u32 {
+            return false;
+        }
+        if self.powered.get() {
+            self.record_power(1);
+        }
+        mem.write(index, value);
+        true
     }
 }
 

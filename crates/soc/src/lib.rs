@@ -39,13 +39,17 @@ pub mod pipeline;
 mod plan;
 pub mod rtl;
 mod soc;
+mod workload;
 
 pub use cores::{ColorConversionCore, DctCore, MemoryCore};
 pub use noc_soc::{build_test_runs_noc, NocJpegSoc};
 pub use plan::{
     build_test_runs, build_test_runs_traced, paper_schedules, run_scenario, run_scenario_prepared,
-    run_scenario_prepared_traced, run_scenario_traced, PowerSummary, ScenarioMetrics, SocTestPlan,
+    run_scenario_prepared_traced, run_scenario_quantum, run_scenario_traced, PowerSummary,
+    ScenarioMetrics, SocTestPlan,
 };
+pub use workload::{PlanOverrides, Workload, WorkloadPreset, PLAN_OVERRIDE_KEYS};
+
 pub use soc::{
     initiators, scan_view, JpegEncoderSoc, PowerParams, SocConfig, WrappedCore, CODEC_ADDR,
     COLOR_WRAPPER_ADDR, DCT_WRAPPER_ADDR, MEM_BASE, PROC_WRAPPER_ADDR, RING_CODEC, RING_COLOR,

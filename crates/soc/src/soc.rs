@@ -561,6 +561,70 @@ mod tests {
     }
 
     #[test]
+    fn dmi_chain_grants_in_quantum_mode_and_revokes_on_wir_load() {
+        use tve_core::WrapperMode;
+        use tve_sim::Duration;
+
+        let mut sim = Simulation::with_quantum(Duration::cycles(4096));
+        let soc = JpegEncoderSoc::build(&sim.handle(), SocConfig::small());
+        let words = soc.config.memory_words;
+        let bus = Rc::clone(&soc.bus);
+        let wrapper = Rc::clone(&soc.mem_wrapper);
+        let jh = sim.spawn(async move {
+            // A window overhanging the memory mapping must not grant.
+            assert!(Rc::clone(&bus)
+                .dmi_window(MEM_BASE, words + 1, initiators::PROCESSOR)
+                .is_none());
+            let window = Rc::clone(&bus)
+                .dmi_window(MEM_BASE, words, initiators::PROCESSOR)
+                .expect("functional-mode memory window grants DMI");
+            assert!(window.dmi_write(MEM_BASE + 3, 0xDEAD_BEEF));
+            assert_eq!(window.dmi_read(MEM_BASE + 3), Some(0xDEAD_BEEF));
+            // A WIR load revokes the outstanding grant...
+            wrapper.load_config(WrapperMode::Bist.encode());
+            assert!(!window.dmi_write(MEM_BASE + 3, 0));
+            assert_eq!(window.dmi_read(MEM_BASE + 3), None);
+            // ...and a non-forwarding mode declines fresh requests.
+            assert!(Rc::clone(&bus)
+                .dmi_window(MEM_BASE, words, initiators::PROCESSOR)
+                .is_none());
+            wrapper.load_config(WrapperMode::Functional.encode());
+            assert!(Rc::clone(&bus)
+                .dmi_window(MEM_BASE, words, initiators::PROCESSOR)
+                .is_some());
+        });
+        sim.run();
+        jh.try_take().expect("task ran to completion");
+        // The two direct accesses hit the memory array and the wrapper's
+        // forwarded counter just like transactional ones.
+        let (reads, writes) = soc.memory.op_counts();
+        assert_eq!((reads, writes), (1, 1));
+        assert_eq!(soc.mem_wrapper.stats().forwarded, 2);
+    }
+
+    #[test]
+    fn dmi_is_never_granted_in_accurate_mode_paths() {
+        // In cycle-accurate mode `run_blocking` never even requests a
+        // window (`lt_active` is false); the grant itself is still legal
+        // but every access declines because no quantum budget exists.
+        let mut sim = Simulation::new();
+        let soc = JpegEncoderSoc::build(&sim.handle(), SocConfig::small());
+        let words = soc.config.memory_words;
+        let bus = Rc::clone(&soc.bus);
+        let jh = sim.spawn(async move {
+            let window = Rc::clone(&bus)
+                .dmi_window(MEM_BASE, words, initiators::PROCESSOR)
+                .expect("the grant chain itself is mode-independent");
+            assert!(!window.dmi_write(MEM_BASE, 1));
+            assert_eq!(window.dmi_read(MEM_BASE), None);
+        });
+        sim.run();
+        jh.try_take().expect("task ran to completion");
+        let (reads, writes) = soc.memory.op_counts();
+        assert_eq!((reads, writes), (0, 0), "declined accesses leave no trace");
+    }
+
+    #[test]
     fn functional_memory_access_through_wrapper() {
         let mut sim = Simulation::new();
         let soc = JpegEncoderSoc::build(&sim.handle(), SocConfig::small());

@@ -15,9 +15,10 @@ use tve_sim::{Duration, SimHandle};
 
 use crate::arbiter::{Arbiter, ArbiterPolicy};
 use crate::monitor::UtilizationMonitor;
+use crate::payload::InitiatorId;
 use crate::payload::{Command, ResponseStatus, Transaction};
 use crate::power::PowerMeter;
-use crate::transport::{LocalBoxFuture, TamIf};
+use crate::transport::{DmiAccess, LocalBoxFuture, TamIf};
 
 /// A channel's attachment to an observability [`Recorder`]: the shared
 /// recorder plus pre-registered counter handles, so per-transfer bumps
@@ -347,6 +348,84 @@ impl BusTam {
     }
 }
 
+/// A [`DmiAccess`] grant through a [`BusTam`]: each word access gates and
+/// books the channel exactly like a single-word
+/// [`TamIf::transport_sync_try`] — arbitration-idle check, quantum-budget
+/// absorption of the 32-bit occupancy, utilization-monitor busy record —
+/// then delegates the data movement to the routed target's own grant.
+struct BusDmi {
+    bus: Rc<BusTam>,
+    inner: Rc<dyn DmiAccess>,
+    /// `occupancy_of(32)`, precomputed: the bus config is immutable.
+    occupancy: Duration,
+    initiator: InitiatorId,
+}
+
+impl BusDmi {
+    /// The gates of `transport_sync_try` up to and including absorbing
+    /// the channel occupancy into the local quantum budget. On `true`
+    /// the occupancy has been consumed; a subsequent inner decline must
+    /// refund it with `local_wait_undo`.
+    fn channel_admit(&self) -> bool {
+        if !self.bus.handle.lt_active() {
+            return false;
+        }
+        // Instrumentation (power meter, span recorder) is recorded on
+        // the transactional path only; decline so the fallback keeps
+        // those records exact.
+        if self.bus.instrumented.get() {
+            return false;
+        }
+        if !self.bus.arbiter.is_idle() {
+            return false;
+        }
+        self.bus.handle.try_local_wait(self.occupancy)
+    }
+
+    /// The channel-side bookkeeping of a completed access, in the same
+    /// order as `transport_sync_try`: acquire, record busy, release.
+    fn channel_commit(&self) {
+        let granted = self.bus.arbiter.try_acquire(self.initiator);
+        debug_assert!(granted, "DMI access raced the arbiter");
+        let start = self.bus.handle.now();
+        self.bus
+            .monitor
+            .borrow_mut()
+            .record_busy(start, self.occupancy, self.initiator);
+        self.bus.arbiter.release();
+    }
+}
+
+impl DmiAccess for BusDmi {
+    fn dmi_read(&self, addr: u32) -> Option<u32> {
+        if !self.channel_admit() {
+            return None;
+        }
+        match self.inner.dmi_read(addr) {
+            Some(word) => {
+                self.channel_commit();
+                Some(word)
+            }
+            None => {
+                self.bus.handle.local_wait_undo(self.occupancy);
+                None
+            }
+        }
+    }
+
+    fn dmi_write(&self, addr: u32, value: u32) -> bool {
+        if !self.channel_admit() {
+            return false;
+        }
+        if !self.inner.dmi_write(addr, value) {
+            self.bus.handle.local_wait_undo(self.occupancy);
+            return false;
+        }
+        self.channel_commit();
+        true
+    }
+}
+
 impl TamIf for BusTam {
     fn name(&self) -> &str {
         &self.cfg.name
@@ -518,6 +597,42 @@ impl TamIf for BusTam {
             txn.status = ResponseStatus::AddressError;
         }
         true
+    }
+
+    /// Grants DMI when the whole window routes into one target that
+    /// itself grants. Declines on instrumented channels (power/recorder
+    /// records stay on the transactional path) and when burst
+    /// segmentation would split a 32-bit access.
+    fn dmi_window(
+        self: Rc<Self>,
+        base: u32,
+        words: u32,
+        initiator: InitiatorId,
+    ) -> Option<Rc<dyn DmiAccess>> {
+        if words == 0 || self.instrumented.get() {
+            return None;
+        }
+        if self.cfg.max_burst_bits.is_some_and(|mb| mb.max(1) < 32) {
+            return None;
+        }
+        let end = base.checked_add(words - 1)?;
+        let target = {
+            let targets = self.targets.borrow();
+            let i = self.route_index(&targets, base)?;
+            let (range, target) = &targets[i];
+            if !range.contains(end) {
+                return None;
+            }
+            Rc::clone(target)
+        };
+        let inner = target.dmi_window(base, words, initiator)?;
+        let occupancy = self.occupancy_of(32);
+        Some(Rc::new(BusDmi {
+            bus: self,
+            inner,
+            occupancy,
+            initiator,
+        }))
     }
 }
 

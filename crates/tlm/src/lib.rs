@@ -50,4 +50,4 @@ pub use payload::{Command, InitiatorId, ResponseStatus, Transaction};
 pub use power::PowerMeter;
 pub use rate::RateLimiter;
 pub use serial::SerialTam;
-pub use transport::{LocalBoxFuture, TamError, TamIf, TamIfExt};
+pub use transport::{DmiAccess, LocalBoxFuture, TamError, TamIf, TamIfExt};

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
+use std::rc::Rc;
 
 use crate::payload::{Command, InitiatorId, ResponseStatus, Transaction};
 
@@ -94,6 +95,52 @@ pub trait TamIf {
             false
         }
     }
+
+    /// Requests a direct-memory-interface grant over the word window
+    /// `[base, base + words)` for single-word (32-bit) accesses by
+    /// `initiator` — the TLM-2.0 DMI idea applied to loosely-timed
+    /// memory marches: the initiator keeps the returned [`DmiAccess`]
+    /// and performs each word access as one call, skipping transaction
+    /// construction and the per-op interface walk.
+    ///
+    /// A grant is a *performance* contract, never a semantic one: every
+    /// layer that grants must replicate, per operation, exactly the
+    /// observable side effects of the equivalent
+    /// [`TamIf::transport_sync_try`] word access — simulated time,
+    /// utilization monitoring, power, counters — or decline the
+    /// operation so the caller falls back to the transactional path.
+    /// Digest equality between the two paths is pinned in
+    /// `tests/kernel_digests.rs`.
+    ///
+    /// The default declines; channels and wrappers forward the request
+    /// toward the memory, layering their own per-op bookkeeping on the
+    /// way back.
+    fn dmi_window(
+        self: Rc<Self>,
+        base: u32,
+        words: u32,
+        initiator: InitiatorId,
+    ) -> Option<Rc<dyn DmiAccess>> {
+        let _ = (base, words, initiator);
+        None
+    }
+}
+
+/// A direct word-access grant obtained from [`TamIf::dmi_window`].
+///
+/// Both operations are *fallible per call*: a `None` / `false` return
+/// declines the single operation (revoked grant after a WIR load, bus
+/// contention, exhausted quantum budget, instrumentation attached) with
+/// no side effects, and the caller must perform that operation through
+/// the regular transactional path instead. A successful call has
+/// exactly the observable effects of the equivalent single-word
+/// [`TamIf::transport_sync_try`].
+pub trait DmiAccess {
+    /// Reads the 32-bit word at TAM address `addr`.
+    fn dmi_read(&self, addr: u32) -> Option<u32>;
+
+    /// Writes the 32-bit word at TAM address `addr`.
+    fn dmi_write(&self, addr: u32, value: u32) -> bool;
 }
 
 /// Convenience accessors over any [`TamIf`].

@@ -23,7 +23,10 @@
 //!   diagnostics without simulation, sound against the dynamic layer,
 //! * [`sched`] — test scheduling and design-space exploration,
 //! * [`campaign`] — systematic fault-injection campaigns validating
-//!   every schedule against a fault population.
+//!   every schedule against a fault population,
+//! * [`serve`] — validation as a service: the `tve-serve` daemon, its
+//!   wire protocol, and the content-addressed result cache with
+//!   incremental re-validation.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -36,6 +39,7 @@ pub use tve_netlist as netlist;
 pub use tve_noc as noc;
 pub use tve_obs as obs;
 pub use tve_sched as sched;
+pub use tve_serve as serve;
 pub use tve_sim as sim;
 pub use tve_soc as soc;
 pub use tve_tlm as tlm;
