@@ -16,6 +16,24 @@
 //! previously simulated (fault × schedule) cells from its result cache
 //! and still writes byte-identical artifacts.
 //!
+//! Scale-out flags (see `DESIGN.md`, "Campaign scale-out"):
+//!
+//! - `--shard k/n [--shard-out PATH]` simulates only the cells shard
+//!   `k/n` owns and writes a shard report
+//!   (`target/campaign_shard_k_of_n.json` by default) instead of the
+//!   matrix artifacts.
+//! - `--merge FILE...` (repeatable) merges shard reports back into the
+//!   full matrix; the merged CSV/JSON are byte-identical to an
+//!   unsharded run of the same flags, and an incomplete or mixed shard
+//!   set is a hard error.
+//! - `--journal PATH` checkpoints every finished cell to an append-only
+//!   self-validating journal; re-running the identical command after a
+//!   crash (or `kill -9`) resumes from the journal and produces the
+//!   identical artifact.
+//! - `--spawn N` forks `N` child processes of this binary, one per
+//!   shard, waits for them, and merges their reports — a one-flag
+//!   multi-process campaign.
+//!
 //! When all four schedules run, the binary *asserts* the campaign's
 //! acceptance criteria — 100 % union detection of scan-cell and memory
 //! faults, every detected scan fault confirmed by diagnosis at the
@@ -25,7 +43,10 @@
 use std::path::{Path, PathBuf};
 
 use tve_bench::{daemon_connect, daemon_socket, write_artifact};
-use tve_campaign::{generate, run_campaign, CampaignConfig, PopulationSpec};
+use tve_campaign::{
+    generate, merge_shards, run_campaign, run_campaign_journaled, run_campaign_shard,
+    CampaignConfig, CampaignReport, PopulationSpec, ShardReport, ShardSpec,
+};
 use tve_obs::{check_json, JsonValue};
 use tve_sched::Farm;
 use tve_serve::{JobKind, JobSpec};
@@ -36,6 +57,16 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Every value of a repeatable flag, in order.
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .cloned()
+        .collect()
 }
 
 fn main() {
@@ -56,6 +87,24 @@ fn main() {
     let json_path = PathBuf::from(
         arg_value(&args, "--json").unwrap_or_else(|| "target/campaign_matrix.json".into()),
     );
+    let shard_arg = arg_value(&args, "--shard").map(|s| {
+        ShardSpec::parse(&s).unwrap_or_else(|e| {
+            eprintln!("error: --shard: {e}");
+            std::process::exit(2);
+        })
+    });
+    let shard_out = arg_value(&args, "--shard-out").map(PathBuf::from);
+    let merge_files = arg_values(&args, "--merge");
+    let journal_path = arg_value(&args, "--journal").map(PathBuf::from);
+    let spawn = arg_value(&args, "--spawn").map(|s| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("error: --spawn wants a process count >= 1");
+                std::process::exit(2);
+            })
+    });
 
     let workload = Workload::small().with_mem_words(mem_words);
     let (soc, plan) = workload.build();
@@ -96,22 +145,186 @@ fn main() {
     let core_faults = population.iter().filter(|f| !f.is_infrastructure()).count();
     let infra_faults = population.len() - core_faults;
 
-    let farm = Farm::new();
-    println!(
-        "fault campaign: {} faults ({core_faults} core + {infra_faults} infra) x {} schedules = {} cells, {} workers, seed {seed:#x}",
-        population.len(),
-        schedules.len(),
-        population.len() * schedules.len(),
-        farm.workers(),
-    );
-
     let config = {
         let mut c = CampaignConfig::new(soc, plan, schedules, population);
         c.diagnosis = diagnosis;
         c
     };
-    let report = run_campaign(&config, &farm);
 
+    // --spawn: fork one child per shard, merge their reports.
+    if let Some(count) = spawn {
+        let report = run_spawned(&args, &config, count);
+        report_and_check(&config, &report, &csv_path, &json_path, complete);
+        return;
+    }
+
+    // --merge: reassemble shard reports written by earlier --shard runs.
+    if !merge_files.is_empty() {
+        let report = merge_files_into_report(&config, &merge_files);
+        report_and_check(&config, &report, &csv_path, &json_path, complete);
+        return;
+    }
+
+    let farm = Farm::new();
+
+    // --shard k/n: simulate only the owned cells, emit a shard report.
+    if let Some(shard) = shard_arg {
+        let shard_report = match &journal_path {
+            Some(path) => run_journaled(&config, &farm, shard, path),
+            None => run_campaign_shard(&config, &farm, shard),
+        };
+        let out = shard_out.unwrap_or_else(|| {
+            PathBuf::from(format!(
+                "target/campaign_shard_{}_of_{}.json",
+                shard.index + 1,
+                shard.count
+            ))
+        });
+        write_artifact(&out, &shard_report.to_json());
+        println!(
+            "shard {shard}: {} of {} cells -> {}",
+            shard_report.cells.len(),
+            shard_report.total_cells,
+            out.display()
+        );
+        return;
+    }
+
+    println!(
+        "fault campaign: {} faults ({core_faults} core + {infra_faults} infra) x {} schedules = {} cells, {} workers, seed {seed:#x}",
+        config.population.len(),
+        config.schedules.len(),
+        config.population.len() * config.schedules.len(),
+        farm.workers(),
+    );
+
+    let report = match &journal_path {
+        Some(path) => {
+            let shard_report = run_journaled(&config, &farm, ShardSpec::full(), path);
+            merge_shards(&config, &[shard_report]).expect("the full shard merges")
+        }
+        None => run_campaign(&config, &farm),
+    };
+    report_and_check(&config, &report, &csv_path, &json_path, complete);
+}
+
+/// Runs (or resumes) one shard against the checkpoint journal at
+/// `path`, reporting how much came back from the journal.
+fn run_journaled(
+    config: &CampaignConfig,
+    farm: &Farm,
+    shard: ShardSpec,
+    path: &Path,
+) -> ShardReport {
+    let (report, resume) = run_campaign_journaled(config, farm, shard, path).unwrap_or_else(|e| {
+        eprintln!("error: journaled campaign: {e}");
+        std::process::exit(2);
+    });
+    if let Some(defect) = &resume.defect {
+        println!("journal damage absorbed by truncation: {defect}");
+    }
+    println!(
+        "journal {}: resumed {} cells + {} diagnoses, simulated {} cells + {} diagnoses",
+        path.display(),
+        resume.resumed_cells,
+        resume.resumed_diagnosis,
+        resume.simulated_cells,
+        resume.simulated_diagnosis
+    );
+    report
+}
+
+/// Reads shard-report files and merges them; any incomplete, mixed or
+/// inconsistent set is a hard error from `merge_shards`.
+fn merge_files_into_report(config: &CampaignConfig, files: &[String]) -> CampaignReport {
+    let reports: Vec<ShardReport> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: reading shard report {path}: {e}");
+                std::process::exit(2);
+            });
+            ShardReport::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("error: shard report {path}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    println!("merging {} shard reports", reports.len());
+    merge_shards(config, &reports).unwrap_or_else(|e| {
+        eprintln!("error: merge: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Forks `count` children of this binary — one `--shard k/count` each,
+/// same campaign flags — waits for all of them, and merges the reports.
+/// Children default to one farm worker unless `TVE_JOBS` says otherwise,
+/// so the processes, not the threads, are the parallelism.
+fn run_spawned(args: &[String], config: &CampaignConfig, count: usize) -> CampaignReport {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate own binary: {e}");
+        std::process::exit(2);
+    });
+    // Keep the campaign-defining flags; strip orchestration and output
+    // flags, which each child gets its own values for.
+    let drop_with_value = ["--spawn", "--csv", "--json", "--shard-out", "--merge"];
+    let mut kept: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if drop_with_value.contains(&args[i].as_str()) {
+            i += 2;
+            continue;
+        }
+        kept.push(args[i].clone());
+        i += 1;
+    }
+    println!("spawning {count} shard processes");
+    let mut children = Vec::new();
+    let mut outs = Vec::new();
+    for k in 1..=count {
+        let out = format!("target/campaign_shard_{k}_of_{count}.json");
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(&kept)
+            .arg("--shard")
+            .arg(format!("{k}/{count}"))
+            .arg("--shard-out")
+            .arg(&out);
+        if std::env::var_os("TVE_JOBS").is_none() {
+            cmd.env("TVE_JOBS", "1");
+        }
+        let child = cmd.spawn().unwrap_or_else(|e| {
+            eprintln!("error: spawning shard {k}/{count}: {e}");
+            std::process::exit(2);
+        });
+        children.push((k, child));
+        outs.push(out);
+    }
+    for (k, mut child) in children {
+        let status = child.wait().unwrap_or_else(|e| {
+            eprintln!("error: waiting for shard {k}/{count}: {e}");
+            std::process::exit(2);
+        });
+        if !status.success() {
+            eprintln!("error: shard {k}/{count} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    merge_files_into_report(config, &outs)
+}
+
+/// Prints the per-schedule summary, writes the matrix artifacts, and —
+/// when all four schedules ran — asserts the campaign's acceptance
+/// criteria, exiting nonzero on violation. Shared by the local,
+/// journaled, merged and spawned paths, so every mode emits the
+/// identical artifact for the identical configuration.
+fn report_and_check(
+    config: &CampaignConfig,
+    report: &CampaignReport,
+    csv_path: &Path,
+    json_path: &Path,
+    complete: bool,
+) {
     println!("\nper-schedule core-fault coverage (scan-cell + memory):");
     for s in &report.schedules {
         let escapes = report.escapes(s);
@@ -147,8 +360,8 @@ fn main() {
         eprintln!("error: campaign JSON is not well-formed: {e}");
         std::process::exit(2);
     }
-    write_artifact(&csv_path, &report.to_csv());
-    write_artifact(&json_path, &json);
+    write_artifact(csv_path, &report.to_csv());
+    write_artifact(json_path, &json);
     println!(
         "matrix: {} and {} ({} cells)",
         csv_path.display(),
@@ -227,6 +440,7 @@ fn run_via_daemon(
             seed,
             faults,
             diagnosis,
+            shard: None,
         },
         verify: None,
     };

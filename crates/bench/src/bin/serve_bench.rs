@@ -85,6 +85,7 @@ fn run_pass(
                 seed: CAMPAIGN_SEED,
                 faults: CAMPAIGN_FAULTS,
                 diagnosis: true,
+                shard: None,
             },
             verify,
         })
@@ -114,6 +115,7 @@ fn main() {
         workers: None,
         verify: None,
         quiet: true,
+        cache_file: None,
     })
     .unwrap_or_else(|e| {
         eprintln!("error: cannot start in-process daemon: {e}");

@@ -9,12 +9,12 @@ use tve_obs::{earliest_span_end, SpanKind, StoragePolicy, TraceLog};
 use tve_sched::Farm;
 use tve_sim::Simulation;
 use tve_soc::{
-    run_scenario, run_scenario_prepared_traced, scan_view, JpegEncoderSoc, ScenarioMetrics,
-    SocConfig, SocTestPlan, WrappedCore,
+    run_scenario_prepared_traced, scan_view, JpegEncoderSoc, ScenarioMetrics, SocConfig,
+    SocTestPlan, WrappedCore,
 };
 
 use crate::fault::FaultSpec;
-use crate::matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck};
+use crate::matrix::{CampaignReport, CellOutcome, DiagnosisCheck};
 
 /// Everything a campaign run needs, as plain (clonable) data.
 #[derive(Debug, Clone)]
@@ -251,6 +251,11 @@ pub fn diagnose_scan_fault(
 /// [`CampaignReport::prescreened`] with their diagnostic codes — a
 /// defective schedule costs microseconds instead of a golden-run panic.
 ///
+/// This function is literally [`merge_shards`](crate::merge_shards) over
+/// the single full shard `1/1` — the sharded scale-out path and the
+/// single-process path are the same code, so `--shard k/n` runs merge to
+/// artifacts byte-identical to this one by construction.
+///
 /// # Panics
 ///
 /// Panics if a schedule is not well-formed for the seven-test plan (the
@@ -258,116 +263,7 @@ pub fn diagnose_scan_fault(
 /// `config.prescreen` set, structurally defective schedules are screened
 /// out before they can trip those panics.
 pub fn run_campaign(config: &CampaignConfig, farm: &Farm) -> CampaignReport {
-    // Static pre-screen: partition the schedules before anything runs.
-    let mut prescreened = Vec::new();
-    let schedules: Vec<Schedule> = if config.prescreen {
-        let facts = tve_lint::soc_facts(&config.soc, &config.plan);
-        config
-            .schedules
-            .iter()
-            .filter(|schedule| {
-                let report = tve_lint::lint_schedule_report(schedule, &facts);
-                if report.clean() {
-                    return true;
-                }
-                prescreened.push(crate::matrix::PrescreenedSchedule {
-                    schedule: schedule.name.clone(),
-                    codes: report
-                        .diagnostics
-                        .iter()
-                        .filter(|d| d.severity == tve_lint::Severity::Error)
-                        .map(|d| d.code.to_string())
-                        .collect(),
-                });
-                false
-            })
-            .cloned()
-            .collect()
-    } else {
-        config.schedules.clone()
-    };
-    let config = &CampaignConfig {
-        schedules,
-        ..config.clone()
-    };
-
-    // Golden baselines, farmed per schedule.
-    let (golden_results, _, _) = farm.run_map(&config.schedules, |schedule| {
-        run_scenario(&config.soc, &config.plan, schedule)
-            .unwrap_or_else(|e| panic!("golden run of '{}' failed: {e}", schedule.name))
-    });
-    let mut golden: BTreeMap<String, ScenarioMetrics> = BTreeMap::new();
-    for (schedule, (_, result)) in config.schedules.iter().zip(golden_results) {
-        let metrics = result.expect("golden scenario must not panic");
-        assert!(
-            metrics.result.clean(),
-            "golden run of '{}' reported errors: {}",
-            schedule.name,
-            metrics.result
-        );
-        golden.insert(schedule.name.clone(), metrics);
-    }
-
-    // The (fault × schedule) matrix, fault-major.
-    let cells: Vec<(usize, usize)> = (0..config.population.len())
-        .flat_map(|f| (0..config.schedules.len()).map(move |s| (f, s)))
-        .collect();
-    let (outcomes, _, _) = farm.run_map(&cells, |&(fi, si)| {
-        let fault = &config.population[fi];
-        let schedule = &config.schedules[si];
-        run_cell(
-            &config.soc,
-            &config.plan,
-            schedule,
-            fault,
-            &golden[&schedule.name],
-        )
-    });
-    let results: Vec<CellResult> = cells
-        .iter()
-        .zip(outcomes)
-        .map(|(&(fi, si), (_, outcome))| {
-            let fault = &config.population[fi];
-            CellResult {
-                fault_id: fault.id(),
-                fault_class: fault.class().to_string(),
-                schedule: config.schedules[si].name.clone(),
-                outcome: outcome
-                    .unwrap_or_else(|panic_msg| CellOutcome::InfraFailure { error: panic_msg }),
-            }
-        })
-        .collect();
-
-    // Diagnosis cross-check: each scan-cell fault that was detected in at
-    // least one schedule is taken to the (simulated) diagnosis station.
-    let mut diagnosis = Vec::new();
-    if config.diagnosis {
-        let detected_scan: Vec<(WrappedCore, StuckCell)> = config
-            .population
-            .iter()
-            .filter_map(|f| match f {
-                FaultSpec::ScanCell { core, cell } => {
-                    let detected = results.iter().any(|r| {
-                        r.fault_id == f.id() && matches!(r.outcome, CellOutcome::Detected { .. })
-                    });
-                    detected.then_some((*core, *cell))
-                }
-                _ => None,
-            })
-            .collect();
-        let (checks, _, _) = farm.run_map(&detected_scan, |&(core, cell)| {
-            diagnose_scan_fault(config, core, cell)
-        });
-        diagnosis = checks
-            .into_iter()
-            .map(|(_, r)| r.expect("diagnosis must not panic"))
-            .collect();
-    }
-
-    CampaignReport {
-        schedules: config.schedules.iter().map(|s| s.name.clone()).collect(),
-        prescreened,
-        cells: results,
-        diagnosis,
-    }
+    let full = crate::shard::run_campaign_shard(config, farm, crate::shard::ShardSpec::full());
+    crate::shard::merge_shards(config, std::slice::from_ref(&full))
+        .expect("the full shard covers every cell")
 }

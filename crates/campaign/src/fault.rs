@@ -121,6 +121,13 @@ pub struct PopulationSpec {
     /// Whether to include the infrastructure fault set (TAM corruption,
     /// stuck WIR bits, broken ring segments).
     pub infrastructure: bool,
+    /// Whether to also sample scan cells in the *unscanned* memory
+    /// periphery (whose chains no Table-I test exercises). Those faults
+    /// are guaranteed escapes; the sampling benches include them to
+    /// give the coverage-guided selector a genuinely escape-prone
+    /// stratum to discover. Off by default — a population that asserts
+    /// 100 % detection must not contain undetectable faults.
+    pub include_unscanned: bool,
 }
 
 impl Default for PopulationSpec {
@@ -131,16 +138,17 @@ impl Default for PopulationSpec {
             exhaustive_cap: 16,
             memory_faults: 4,
             infrastructure: true,
+            include_unscanned: false,
         }
     }
 }
 
 /// splitmix64: the population sampler. Deterministic, seedable, and
 /// stateless between calls given the same counter.
-struct SplitMix(u64);
+pub(crate) struct SplitMix(pub(crate) u64);
 
 impl SplitMix {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -167,7 +175,14 @@ pub fn generate(spec: &PopulationSpec, config: &SocConfig) -> Vec<FaultSpec> {
     let mut rng = SplitMix(spec.seed);
     let mut population = Vec::new();
 
-    for core in SCANNED_CORES {
+    // Appending the unscanned core *after* the scanned three keeps the
+    // sampler stream — and therefore the default population — identical
+    // when the flag is off.
+    let mut cores: Vec<WrappedCore> = SCANNED_CORES.to_vec();
+    if spec.include_unscanned {
+        cores.push(WrappedCore::MemoryPeriphery);
+    }
+    for core in cores {
         let scan = scan_view(config, core).scan_config();
         let (chains, len) = (scan.chains(), scan.max_chain_len());
         if chains * len <= spec.exhaustive_cap {

@@ -52,7 +52,24 @@
 mod engine;
 mod fault;
 mod matrix;
+mod resume;
+mod sample;
+mod shard;
+mod wire;
 
 pub use engine::{apply_fault, diagnose_scan_fault, run_campaign, run_cell, CampaignConfig};
 pub use fault::{generate, FaultSpec, PopulationSpec, SCANNED_CORES};
 pub use matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck, PrescreenedSchedule};
+pub use resume::{run_campaign_journaled, ResumeSummary};
+pub use sample::{
+    run_guided_campaign, run_sampled_campaign, stratum_of, CoverageEstimate, SampledCampaign,
+    StratumOutcome,
+};
+pub use shard::{
+    campaign_fingerprint, effective_schedules, merge_shards, run_campaign_shard, ShardReport,
+    ShardSpec,
+};
+pub use wire::{
+    append_cell_result, append_diagnosis, cell_result_from_json, cell_result_to_json,
+    diagnosis_from_json, diagnosis_to_json,
+};

@@ -11,6 +11,7 @@
 
 use std::process::ExitCode;
 
+use tve_campaign::{merge_shards, ShardReport, ShardSpec};
 use tve_obs::JsonValue;
 use tve_serve::{render_response, Client, JobKind, JobSpec};
 use tve_soc::{PlanOverrides, Workload, WorkloadPreset};
@@ -24,6 +25,8 @@ commands:
   campaign                   run a fault campaign
     [--schedules 1,3] [--faults N] [--seed S] [--no-diagnosis]
     [--csv FILE] [--json FILE]
+    [--fan-out N]            submit N shard jobs, merge locally —
+                             artifacts byte-identical to --fan-out 1
   lint                       static schedule (and program) lint
     [--schedules 1,2] [--program FILE] [--out FILE]
   status    --id N           poll an async job
@@ -60,6 +63,7 @@ struct Cli {
     id: Option<u64>,
     wait: bool,
     no_wait: bool,
+    fan_out: Option<usize>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -84,6 +88,7 @@ fn parse_cli() -> Result<Cli, String> {
         id: None,
         wait: false,
         no_wait: false,
+        fan_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -172,6 +177,15 @@ fn parse_cli() -> Result<Cli, String> {
             "--id" => cli.id = Some(value("--id")?.parse().map_err(|e| format!("--id: {e}"))?),
             "--wait" => cli.wait = true,
             "--no-wait" => cli.no_wait = true,
+            "--fan-out" => {
+                let n: usize = value("--fan-out")?
+                    .parse()
+                    .map_err(|e| format!("--fan-out: {e}"))?;
+                if n == 0 {
+                    return Err("--fan-out wants at least one shard".into());
+                }
+                cli.fan_out = Some(n);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -230,6 +244,83 @@ fn submit(client: &mut Client, cli: &Cli, kind: JobKind) -> Result<Option<JsonVa
     Ok(Some(result))
 }
 
+/// Submits one campaign job per shard, waits for all of them, and
+/// merges the shard reports locally. The daemon partitions the
+/// (fault × schedule) matrix by flat cell index, so the merged CSV and
+/// JSON artifacts are byte-identical to a single unsharded job — the
+/// merge validates fingerprints and exact tiling, and refuses anything
+/// less than a complete, consistent shard set.
+fn fan_out_campaign(
+    client: &mut Client,
+    cli: &Cli,
+    kind: JobKind,
+    count: usize,
+) -> Result<(), String> {
+    if cli.no_wait {
+        return Err("--fan-out waits for its shards; drop --no-wait".into());
+    }
+    let base = JobSpec {
+        workload: workload(cli),
+        kind,
+        verify: cli.verify,
+    };
+    // The client rebuilds the campaign configuration exactly as the
+    // daemon does (same JobSpec::campaign_config), so the local merge
+    // fingerprint agrees with the one each shard report carries.
+    let config = base
+        .campaign_config()
+        .expect("fan-out only runs campaign jobs");
+
+    let mut ids = Vec::with_capacity(count);
+    for index in 0..count {
+        let JobKind::Campaign { shard, .. } = &base.kind else {
+            unreachable!("fan-out only runs campaign jobs");
+        };
+        debug_assert!(shard.is_none());
+        let mut job = base.clone();
+        if let JobKind::Campaign { shard, .. } = &mut job.kind {
+            *shard = Some(ShardSpec::new(index, count).expect("index < count"));
+        }
+        ids.push(client.submit_async(&job)?);
+    }
+    eprintln!("tve-client: submitted {count} shard jobs");
+
+    let mut reports = Vec::with_capacity(count);
+    for id in ids {
+        let response = client.result(id, true)?;
+        let result = response
+            .get("result")
+            .ok_or_else(|| format!("job {id} finished without a result object"))?;
+        let shard_json = field_str(result, "shard_json")?;
+        reports.push(ShardReport::from_json(shard_json)?);
+    }
+    let merged = merge_shards(&config, &reports)?;
+
+    let csv = merged.to_csv();
+    let json = merged.to_json();
+    write_out(&cli.csv, &csv, "campaign CSV")?;
+    write_out(&cli.json, &json, "campaign JSON")?;
+    let mut summary = format!(
+        "{{\"kind\":\"campaign\",\"fan_out\":{count},\"cells\":{},\"csv_digest\":\"{:016x}\",\"coverage\":[",
+        merged.cells.len(),
+        tve_obs::fnv1a(csv.as_bytes()),
+    );
+    for (i, name) in ["proc", "cc", "dct"].iter().enumerate() {
+        if i > 0 {
+            summary.push(',');
+        }
+        summary.push_str(&format!(
+            "{{\"core\":\"{name}\",\"coverage\":{:.4}}}",
+            merged.core_coverage(name)
+        ));
+    }
+    summary.push_str("]}");
+    let parsed = tve_obs::parse_json(&summary).expect("summary JSON is well-formed");
+    write_out(&cli.out, &render_response(&parsed), "result")?;
+    println!("{}", render_response(&parsed));
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let cli = parse_cli()?;
     let command = cli.command.clone().ok_or(USAGE.to_string())?;
@@ -254,7 +345,11 @@ fn run() -> Result<(), String> {
                 seed: cli.seed,
                 faults: cli.faults,
                 diagnosis: cli.diagnosis,
+                shard: None,
             };
+            if let Some(count) = cli.fan_out {
+                return fan_out_campaign(&mut client, &cli, kind, count);
+            }
             if let Some(result) = submit(&mut client, &cli, kind)? {
                 write_out(&cli.csv, field_str(&result, "csv")?, "campaign CSV")?;
                 write_out(&cli.json, field_str(&result, "json")?, "campaign JSON")?;

@@ -16,6 +16,8 @@ const USAGE: &str = "usage: tve-serve [options]
   --workers N          farm worker count (default: TVE_JOBS / cores)
   --verify-cache F     re-execute each cache hit with probability F
                        in [0, 1] and require bit-identical results
+  --cache-file PATH    load the result cache from PATH on start and
+                       persist it there on clean shutdown
   --quiet              suppress per-request logging
 ";
 
@@ -51,6 +53,7 @@ fn main() -> ExitCode {
                     }
                     options.verify = Some(fraction);
                 }
+                "--cache-file" => options.cache_file = Some(PathBuf::from(value("--cache-file")?)),
                 "--quiet" => options.quiet = true,
                 "--help" | "-h" => {
                     print!("{USAGE}");

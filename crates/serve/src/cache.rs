@@ -139,6 +139,21 @@ impl ResultCache {
         removed
     }
 
+    /// Every entry as `(key, test_mask, value)`, sorted by key — the
+    /// snapshot [`crate::persist`](crate::save_cache) writes to disk.
+    /// Counters are not exported: a reloaded cache starts its stats
+    /// fresh, only the *results* survive the restart.
+    pub fn export(&self) -> Vec<(u64, u8, CachedValue)> {
+        let s = self.state.lock().expect("cache lock");
+        let mut entries: Vec<(u64, u8, CachedValue)> = s
+            .map
+            .iter()
+            .map(|(&key, e)| (key, e.test_mask, e.value.clone()))
+            .collect();
+        entries.sort_by_key(|&(key, _, _)| key);
+        entries
+    }
+
     /// Records `failures` verify failures out of `count` sampled hits.
     pub fn record_verified(&self, count: u64, failures: u64) {
         let mut s = self.state.lock().expect("cache lock");

@@ -18,8 +18,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use tve_campaign::{
-    diagnose_scan_fault, generate, run_cell, CampaignConfig, CampaignReport, CellOutcome,
-    CellResult, FaultSpec, PopulationSpec,
+    campaign_fingerprint, diagnose_scan_fault, run_cell, CampaignReport, CellOutcome, CellResult,
+    FaultSpec, ShardReport, ShardSpec,
 };
 use tve_core::Schedule;
 use tve_obs::{append_json_string, parse_json, JsonValue};
@@ -47,6 +47,11 @@ pub struct ServeOptions {
     pub verify: Option<f64>,
     /// Suppress per-request logging.
     pub quiet: bool,
+    /// Persist the result cache here: loaded (if present) when the
+    /// daemon binds, written back when it shuts down cleanly — the warm
+    /// state survives restarts, and `--verify-cache 1.0` after a
+    /// restart proves it bit for bit.
+    pub cache_file: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -58,6 +63,7 @@ impl Default for ServeOptions {
             workers: None,
             verify: None,
             quiet: false,
+            cache_file: None,
         }
     }
 }
@@ -80,6 +86,7 @@ struct Shared {
     quantum: String,
     verify: Option<f64>,
     socket: PathBuf,
+    cache_file: Option<PathBuf>,
     quiet: bool,
     jobs: Mutex<JobTable>,
     jobs_cv: Condvar,
@@ -158,12 +165,36 @@ fn bind(options: &ServeOptions) -> io::Result<(UnixListener, Arc<Shared>)> {
         Some(n) => Farm::with_workers(n),
         None => Farm::new(),
     };
+    let cache = ResultCache::new();
+    if let Some(path) = &options.cache_file {
+        match crate::persist::load_cache(&cache, path) {
+            Ok(load) => {
+                if !options.quiet && (load.loaded > 0 || load.defect.is_some()) {
+                    println!(
+                        "tve-serve: loaded {} cached results from {}",
+                        load.loaded,
+                        path.display()
+                    );
+                }
+                if let Some(defect) = load.defect {
+                    eprintln!("tve-serve: cache snapshot damaged — {defect}");
+                }
+            }
+            Err(message) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cache snapshot {}: {message}", path.display()),
+                ))
+            }
+        }
+    }
     let shared = Arc::new(Shared {
-        cache: ResultCache::new(),
+        cache,
         farm,
         quantum: std::env::var("TVE_QUANTUM").unwrap_or_default(),
         verify: options.verify,
         socket: options.socket.clone(),
+        cache_file: options.cache_file.clone(),
         quiet: options.quiet,
         jobs: Mutex::new(JobTable::default()),
         jobs_cv: Condvar::new(),
@@ -197,6 +228,15 @@ fn accept_loop(listener: UnixListener, shared: Arc<Shared>) -> io::Result<()> {
             })?;
     }
     let _ = std::fs::remove_file(&shared.socket);
+    if let Some(path) = &shared.cache_file {
+        let written = crate::persist::save_cache(&shared.cache, path)?;
+        if !shared.quiet {
+            println!(
+                "tve-serve: persisted {written} cached results to {}",
+                path.display()
+            );
+        }
+    }
     if !shared.quiet {
         println!(
             "tve-serve: shut down after {} requests, cache {:?}",
@@ -400,12 +440,7 @@ fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
     let started = Instant::now();
     let body = match &job.kind {
         JobKind::Schedule { index } => run_schedule_job(shared, job, *index),
-        JobKind::Campaign {
-            schedules,
-            seed,
-            faults,
-            diagnosis,
-        } => run_campaign_job(shared, job, schedules, *seed, *faults, *diagnosis),
+        JobKind::Campaign { shard, .. } => run_campaign_job(shared, job, *shard),
         JobKind::Lint { schedules, program } => run_lint_job(shared, job, schedules, program),
     }?;
     if !shared.quiet {
@@ -480,20 +515,19 @@ fn run_schedule_job(shared: &Shared, job: &JobSpec, index: usize) -> Result<Stri
 fn run_campaign_job(
     shared: &Shared,
     job: &JobSpec,
-    schedule_indices: &[usize],
-    seed: u64,
-    faults: usize,
-    diagnosis: bool,
+    shard: Option<ShardSpec>,
 ) -> Result<String, String> {
-    let (config, plan) = job.workload.build();
-    let schedules = selected_schedules(schedule_indices);
-    let spec = PopulationSpec {
-        seed,
-        scan_cells_per_core: faults,
-        memory_faults: faults,
-        ..PopulationSpec::default()
-    };
-    let population = generate(&spec, &config);
+    // The one canonical construction (shared with merging clients):
+    // equal job fields mean an equal matrix on both ends of the socket.
+    let campaign = job
+        .campaign_config()
+        .expect("run_campaign_job is only dispatched for campaign jobs");
+    let config = campaign.soc.clone();
+    let plan = campaign.plan.clone();
+    let schedules = campaign.schedules.clone();
+    let population = campaign.population.clone();
+    let diagnosis = campaign.diagnosis;
+    let shard_spec = shard.unwrap_or_else(ShardSpec::full);
     let fraction = shared.verify_fraction(job);
     let mut verified = 0u64;
     let mut verify_failures: Vec<String> = Vec::new();
@@ -562,9 +596,16 @@ fn run_campaign_job(
         }
     }
 
-    // The (fault × schedule) matrix, fault-major, cache-aware.
+    // The (fault × schedule) matrix, fault-major, cache-aware. A shard
+    // job keeps only its residue class of the flat cell index — the
+    // same partition `tve-campaign` proves tiles the matrix exactly.
+    // (Goldens above are computed for every job schedule regardless:
+    // all shards of a fan-out hit this same daemon, so the cache
+    // serves them once for the whole set.)
+    let schedule_count = schedules.len();
     let cells: Vec<(usize, usize)> = (0..population.len())
-        .flat_map(|f| (0..schedules.len()).map(move |s| (f, s)))
+        .flat_map(|f| (0..schedule_count).map(move |s| (f, s)))
+        .filter(|&(f, s)| shard_spec.owns(f * schedule_count + s))
         .collect();
     let cell_keys: Vec<u64> = cells
         .iter()
@@ -660,12 +701,9 @@ fn run_campaign_job(
     let mut diagnosis_checks = Vec::new();
     let mut diagnoses_simulated = 0usize;
     if diagnosis {
-        let campaign_config = CampaignConfig::new(
-            config.clone(),
-            plan.clone(),
-            schedules.clone(),
-            population.clone(),
-        );
+        // In shard mode `results` holds only owned cells, so each
+        // shard diagnoses exactly the scan faults detected within its
+        // own cells — the union over a shard set is the unsharded set.
         let detected_scan: Vec<FaultSpec> = population
             .iter()
             .filter(|f| matches!(f, FaultSpec::ScanCell { .. }))
@@ -683,8 +721,8 @@ fn run_campaign_job(
             let key = diagnosis_key(
                 &config,
                 plan.seed,
-                campaign_config.diagnosis_patterns,
-                campaign_config.diagnosis_window,
+                campaign.diagnosis_patterns,
+                campaign.diagnosis_window,
                 &fault.id(),
             );
             match shared.cache.lookup(key) {
@@ -699,15 +737,15 @@ fn run_campaign_job(
                 let FaultSpec::ScanCell { core, cell } = fault else {
                     unreachable!("filtered to scan faults");
                 };
-                diagnose_scan_fault(&campaign_config, *core, *cell)
+                diagnose_scan_fault(&campaign, *core, *cell)
             });
             for ((i, fault), (_, check)) in diag_missing.iter().zip(checks) {
                 let check = check.map_err(|panic| format!("diagnosis panicked: {panic}"))?;
                 let key = diagnosis_key(
                     &config,
                     plan.seed,
-                    campaign_config.diagnosis_patterns,
-                    campaign_config.diagnosis_window,
+                    campaign.diagnosis_patterns,
+                    campaign.diagnosis_window,
                     &fault.id(),
                 );
                 shared
@@ -731,6 +769,37 @@ fn run_campaign_job(
             verify_failures.len(),
             verify_failures.join(", ")
         ));
+    }
+
+    // Shard jobs answer with a mergeable shard report instead of the
+    // full artifacts; `merge_shards` on the client side validates the
+    // fingerprint and reassembles the byte-identical matrix.
+    if shard.is_some() {
+        let shard_report = ShardReport {
+            fingerprint: campaign_fingerprint(&campaign),
+            shard: shard_spec,
+            total_cells: population.len() * schedule_count,
+            schedules: schedules.iter().map(|s| s.name.clone()).collect(),
+            prescreened: Vec::new(),
+            cells: cells
+                .iter()
+                .map(|&(fi, si)| fi * schedule_count + si)
+                .zip(results)
+                .collect(),
+            diagnosis: diagnosis_checks,
+        };
+        let mut out = format!(
+            "\"kind\":\"campaign-shard\",\"shard\":\"{shard_spec}\",\
+             \"fingerprint\":\"{:016x}\",\"cells\":{},\
+             \"cells_simulated\":{cells_simulated},\
+             \"goldens_simulated\":{goldens_simulated},\
+             \"diagnoses_simulated\":{diagnoses_simulated},\
+             \"verified\":{verified},\"shard_json\":",
+            shard_report.fingerprint,
+            shard_report.cells.len()
+        );
+        append_json_string(&mut out, &shard_report.to_json());
+        return Ok(out);
     }
 
     let report = CampaignReport {

@@ -46,6 +46,7 @@ mod client;
 mod daemon;
 mod invalidate;
 mod key;
+mod persist;
 mod proto;
 
 pub use cache::{CacheStats, CachedValue, ResultCache};
@@ -55,4 +56,5 @@ pub use invalidate::{edit_impact, EditImpact};
 pub use key::{
     cell_key, diagnosis_key, fnv1a, lint_key, plan_projection, schedule_tests, test_mask,
 };
+pub use persist::{load_cache, save_cache, CacheLoad};
 pub use proto::{read_frame, write_frame, JobKind, JobSpec, MAX_FRAME};

@@ -15,8 +15,9 @@
 
 use std::io::{self, Read, Write};
 
+use tve_campaign::{generate, CampaignConfig, PopulationSpec, ShardSpec};
 use tve_obs::JsonValue;
-use tve_soc::{PlanOverrides, Workload, WorkloadPreset, PLAN_OVERRIDE_KEYS};
+use tve_soc::{paper_schedules, PlanOverrides, Workload, WorkloadPreset, PLAN_OVERRIDE_KEYS};
 
 /// Upper bound on one frame's payload (a full campaign matrix embeds
 /// its CSV and JSON artifacts, so frames can be sizable — but never
@@ -87,6 +88,11 @@ pub enum JobKind {
         faults: usize,
         /// Whether to run the diagnosis cross-check.
         diagnosis: bool,
+        /// Run only this shard of the matrix and return a mergeable
+        /// shard report instead of the full artifacts. `None` = the
+        /// whole matrix. Fan-out clients submit one job per shard and
+        /// merge locally ([`tve_campaign::merge_shards`]).
+        shard: Option<ShardSpec>,
     },
     /// Statically lint the given schedules (and optionally one ATE
     /// program) against the workload's plan facts.
@@ -213,6 +219,7 @@ impl JobSpec {
                 seed,
                 faults,
                 diagnosis,
+                shard,
             } => {
                 let _ = write!(
                     out,
@@ -223,6 +230,9 @@ impl JobSpec {
                         .collect::<Vec<_>>()
                         .join(",")
                 );
+                if let Some(shard) = shard {
+                    let _ = write!(out, ",\"shard\":\"{shard}\"");
+                }
             }
             JobKind::Lint { schedules, program } => {
                 let _ = write!(
@@ -283,6 +293,12 @@ impl JobSpec {
                     .get("diagnosis")
                     .and_then(JsonValue::as_bool)
                     .unwrap_or(true),
+                shard: match v.get("shard") {
+                    None => None,
+                    Some(s) => Some(ShardSpec::parse(
+                        s.as_str().ok_or("\"shard\" wants a \"k/n\" string")?,
+                    )?),
+                },
             },
             Some("lint") => {
                 let program = match (
@@ -306,6 +322,41 @@ impl JobSpec {
             kind,
             verify,
         })
+    }
+
+    /// The exact [`CampaignConfig`] a campaign job runs against, or
+    /// `None` for other job kinds.
+    ///
+    /// This is *the* construction both sides of a sharded fan-out use:
+    /// the daemon builds its shard reports from it and a merging client
+    /// rebuilds it to compute the matching
+    /// [`campaign_fingerprint`](tve_campaign::campaign_fingerprint) —
+    /// equal job fields therefore mean an equal matrix, by
+    /// construction, on both ends of the socket.
+    pub fn campaign_config(&self) -> Option<CampaignConfig> {
+        let JobKind::Campaign {
+            schedules,
+            seed,
+            faults,
+            diagnosis,
+            ..
+        } = &self.kind
+        else {
+            return None;
+        };
+        let (config, plan) = self.workload.build();
+        let all = paper_schedules();
+        let selected = schedules.iter().map(|&i| all[i - 1].clone()).collect();
+        let spec = PopulationSpec {
+            seed: *seed,
+            scan_cells_per_core: *faults,
+            memory_faults: *faults,
+            ..PopulationSpec::default()
+        };
+        let population = generate(&spec, &config);
+        let mut campaign = CampaignConfig::new(config, plan, selected, population);
+        campaign.diagnosis = *diagnosis;
+        Some(campaign)
     }
 }
 
@@ -357,6 +408,18 @@ mod tests {
                     seed: 20090417,
                     faults: 2,
                     diagnosis: false,
+                    shard: None,
+                },
+                verify: None,
+            },
+            JobSpec {
+                workload: Workload::small(),
+                kind: JobKind::Campaign {
+                    schedules: vec![1, 2, 3, 4],
+                    seed: 7,
+                    faults: 1,
+                    diagnosis: true,
+                    shard: Some(ShardSpec::new(1, 3).unwrap()),
                 },
                 verify: None,
             },
@@ -396,6 +459,14 @@ mod tests {
             (
                 r#"{"kind":"schedule","schedule":1,"workload":{"preset":"small"},"verify":7}"#,
                 "[0, 1]",
+            ),
+            (
+                r#"{"kind":"campaign","shard":"5/3","workload":{"preset":"small"}}"#,
+                "out of range",
+            ),
+            (
+                r#"{"kind":"campaign","shard":"0/3","workload":{"preset":"small"}}"#,
+                "1-based",
             ),
         ] {
             let err = JobSpec::from_json(&parse_json(doc).unwrap()).unwrap_err();

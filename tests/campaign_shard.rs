@@ -1,0 +1,145 @@
+//! Shard-merge equivalence, property-tested: for *any* shard count,
+//! *any* farm worker count per shard, and *any* merge order — including
+//! uneven tilings and shards that own a single cell or none at all —
+//! the merged campaign artifacts must be byte-identical to the
+//! unsharded run. This is the contract that makes scale-out free:
+//! `run_campaign` *is* the single-shard merge, so these properties pin
+//! the partition/merge layer against the engine itself.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use tve::campaign::{
+    generate, merge_shards, run_campaign, run_campaign_shard, CampaignConfig, PopulationSpec,
+    ShardReport, ShardSpec,
+};
+use tve::sched::Farm;
+use tve::soc::{paper_schedules, SocConfig, SocTestPlan};
+
+/// A deliberately small matrix — 4 faults x 2 schedules = 8 cells — so
+/// shard counts beyond the cell count leave some shards empty and odd
+/// counts tile unevenly.
+fn config() -> CampaignConfig {
+    let mut soc = SocConfig::small();
+    soc.memory_words = 48;
+    let population = generate(
+        &PopulationSpec {
+            scan_cells_per_core: 1,
+            memory_faults: 1,
+            infrastructure: false,
+            ..PopulationSpec::default()
+        },
+        &soc,
+    );
+    let schedules = paper_schedules()[..2].to_vec();
+    let mut config = CampaignConfig::new(soc, SocTestPlan::small(), schedules, population);
+    config.diagnosis = false;
+    config
+}
+
+/// The unsharded artifacts, computed once per process.
+fn baseline() -> &'static (String, String) {
+    static BASELINE: OnceLock<(String, String)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let report = run_campaign(&config(), &Farm::with_workers(2));
+        (report.to_csv(), report.to_json())
+    })
+}
+
+/// Fisher–Yates driven by a splitmix-style step, so the merge order is
+/// an arbitrary permutation of the shard set.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(0x1405_7b7e_f767_814f);
+        items.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The tentpole equivalence: shards of any count, simulated with any
+    // worker count, merged in any order, reproduce the unsharded bytes.
+    #[test]
+    fn any_shard_set_merges_byte_identical(
+        count in 1usize..=10,
+        workers in 1usize..=3,
+        order_seed in any::<u64>(),
+    ) {
+        let config = config();
+        let farm = Farm::with_workers(workers);
+        let mut reports: Vec<ShardReport> = (0..count)
+            .map(|k| run_campaign_shard(&config, &farm, ShardSpec::new(k, count).unwrap()))
+            .collect();
+        shuffle(&mut reports, order_seed);
+        let merged = merge_shards(&config, &reports).expect("complete shard set merges");
+        let (csv, json) = baseline();
+        prop_assert_eq!(&merged.to_csv(), csv, "CSV differs from the unsharded run");
+        prop_assert_eq!(&merged.to_json(), json, "JSON differs from the unsharded run");
+    }
+
+    // The same equivalence through the process boundary: every report
+    // serialized to its JSON wire form and parsed back before merging.
+    #[test]
+    fn merge_survives_the_json_wire(count in 2usize..=5) {
+        let config = config();
+        let farm = Farm::with_workers(1);
+        let reports: Vec<ShardReport> = (0..count)
+            .map(|k| {
+                let report = run_campaign_shard(&config, &farm, ShardSpec::new(k, count).unwrap());
+                ShardReport::from_json(&report.to_json()).expect("wire round-trip")
+            })
+            .collect();
+        let merged = merge_shards(&config, &reports).expect("round-tripped set merges");
+        prop_assert_eq!(&merged.to_csv(), &baseline().0);
+    }
+
+    // Dropping any one shard must fail the merge loudly — a partial
+    // set can never masquerade as a complete campaign.
+    #[test]
+    fn missing_shard_is_rejected(count in 2usize..=6, drop in 0usize..6) {
+        let config = config();
+        let farm = Farm::with_workers(1);
+        let reports: Vec<ShardReport> = (0..count)
+            .filter(|&k| k != drop % count)
+            .map(|k| run_campaign_shard(&config, &farm, ShardSpec::new(k, count).unwrap()))
+            .collect();
+        // With 8 cells, shards beyond the cell count may own nothing;
+        // dropping an empty shard legitimately still merges. Dropping a
+        // non-empty one must not.
+        let dropped_owned = (0..config.population.len() * config.schedules.len())
+            .any(|i| ShardSpec::new(drop % count, count).unwrap().owns(i));
+        let merged = merge_shards(&config, &reports);
+        if dropped_owned {
+            let err = merged.expect_err("incomplete set must not merge");
+            prop_assert!(err.contains("covered by no shard"), "{}", err);
+        } else {
+            prop_assert!(merged.is_ok());
+        }
+    }
+}
+
+/// Diagnosis checks merge too: with diagnosis on, a scan fault detected
+/// by several shards is diagnosed by each, and the merged report
+/// carries the deduplicated checks in population order — byte-identical
+/// to the unsharded run.
+#[test]
+fn diagnosis_merges_deduplicated_and_identical() {
+    let mut config = config();
+    config.diagnosis = true;
+    let farm = Farm::with_workers(2);
+    let unsharded = run_campaign(&config, &farm);
+    assert!(
+        !unsharded.diagnosis.is_empty(),
+        "workload produced no diagnosis checks — the test is vacuous"
+    );
+    let reports: Vec<ShardReport> = (0..3)
+        .map(|k| run_campaign_shard(&config, &farm, ShardSpec::new(k, 3).unwrap()))
+        .collect();
+    let merged = merge_shards(&config, &reports).expect("shard set merges");
+    assert_eq!(merged.to_csv(), unsharded.to_csv());
+    assert_eq!(merged.to_json(), unsharded.to_json());
+}

@@ -24,6 +24,7 @@ fn start(tag: &str, workers: Option<usize>) -> (tve::serve::DaemonHandle, Client
         workers,
         verify: None,
         quiet: true,
+        cache_file: None,
     })
     .expect("daemon spawns");
     let client = Client::connect(&daemon.socket).expect("client connects");
@@ -57,6 +58,7 @@ fn campaign_artifacts(client: &mut Client, workload: &Workload) -> (String, Stri
                 seed: 0x20090417,
                 faults: 2,
                 diagnosis: true,
+                shard: None,
             },
             verify: None,
         })

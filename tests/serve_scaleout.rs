@@ -1,0 +1,230 @@
+//! Scale-out through the daemon: shard jobs submitted over the real
+//! socket protocol merge byte-identical to an unsharded campaign job,
+//! and the result cache survives a daemon restart bit-for-bit — proven
+//! by `verify` re-execution of every reloaded hit, not by trusting the
+//! snapshot.
+
+use std::path::PathBuf;
+
+use tve::campaign::{merge_shards, ShardReport, ShardSpec};
+use tve::obs::JsonValue;
+use tve::sched::Farm;
+use tve::serve::{spawn, Client, DaemonHandle, JobKind, JobSpec, ServeOptions};
+use tve::soc::Workload;
+
+fn test_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tve-scaleout-{tag}-{}.{ext}", std::process::id()))
+}
+
+fn start(tag: &str, cache_file: Option<PathBuf>, verify: Option<f64>) -> (DaemonHandle, Client) {
+    let daemon = spawn(&ServeOptions {
+        socket: test_path(tag, "sock"),
+        workers: Some(2),
+        verify,
+        quiet: true,
+        cache_file,
+    })
+    .expect("daemon spawns");
+    let client = Client::connect(&daemon.socket).expect("client connects");
+    (daemon, client)
+}
+
+fn campaign_job(shard: Option<ShardSpec>) -> JobSpec {
+    JobSpec {
+        workload: Workload::small(),
+        kind: JobKind::Campaign {
+            schedules: vec![1, 2, 3, 4],
+            seed: 0x20090417,
+            faults: 2,
+            diagnosis: true,
+            shard,
+        },
+        verify: None,
+    }
+}
+
+fn field<'v>(result: &'v JsonValue, key: &str) -> &'v str {
+    result
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("no string field {key:?} in response"))
+}
+
+#[test]
+fn shard_jobs_merge_byte_identical_to_the_unsharded_job() {
+    let (daemon, mut client) = start("shard", None, None);
+
+    let full = client
+        .submit(&campaign_job(None))
+        .expect("unsharded campaign succeeds");
+    let (full_csv, full_json) = (
+        field(&full, "csv").to_string(),
+        field(&full, "json").to_string(),
+    );
+
+    let count = 3;
+    let reports: Vec<ShardReport> = (0..count)
+        .map(|k| {
+            let job = campaign_job(Some(ShardSpec::new(k, count).unwrap()));
+            let result = client.submit(&job).expect("shard campaign succeeds");
+            assert_eq!(
+                result.get("kind").and_then(JsonValue::as_str),
+                Some("campaign-shard")
+            );
+            ShardReport::from_json(field(&result, "shard_json")).expect("shard report parses")
+        })
+        .collect();
+
+    // The client rebuilds the campaign configuration the same way the
+    // daemon does, so the merge fingerprint-checks the daemon's output.
+    let config = campaign_job(None)
+        .campaign_config()
+        .expect("campaign jobs have a config");
+    let merged = merge_shards(&config, &reports).expect("shard set merges");
+    assert_eq!(merged.to_csv(), full_csv, "daemon shard CSV differs");
+    assert_eq!(merged.to_json(), full_json, "daemon shard JSON differs");
+
+    // Sanity: the shard jobs hit the cells the unsharded job populated.
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.get("hits").and_then(JsonValue::as_u64).unwrap_or(0) > 0,
+        "shard jobs shared no cache with the unsharded run"
+    );
+
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+}
+
+#[test]
+fn cache_survives_restart_bit_for_bit() {
+    let cache_file = test_path("persist", "journal");
+    let _ = std::fs::remove_file(&cache_file);
+
+    // Cold daemon: simulate everything, persist on shutdown.
+    let (daemon, mut client) = start("persist-cold", Some(cache_file.clone()), None);
+    let cold = client
+        .submit(&campaign_job(None))
+        .expect("cold campaign succeeds");
+    let cold_csv = field(&cold, "csv").to_string();
+    assert!(
+        cold.get("cells_simulated")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "cold run simulated nothing"
+    );
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+    assert!(cache_file.exists(), "shutdown did not persist the cache");
+
+    // Warm daemon from the snapshot, with verify 1.0: every reloaded
+    // hit is re-executed and compared bit-for-bit, so a passing job IS
+    // the proof that the warm state survived the restart intact.
+    let (daemon, mut client) = start("persist-warm", Some(cache_file.clone()), Some(1.0));
+    let warm = client
+        .submit(&campaign_job(None))
+        .expect("warm campaign succeeds");
+    assert_eq!(
+        field(&warm, "csv"),
+        cold_csv,
+        "artifact changed across restart"
+    );
+    assert_eq!(
+        warm.get("cells_simulated").and_then(JsonValue::as_u64),
+        Some(0),
+        "warm run resimulated cells the snapshot should carry"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats
+            .get("verified")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "verification did not sample any reloaded hits"
+    );
+    assert_eq!(
+        stats.get("verify_failures").and_then(JsonValue::as_u64),
+        Some(0),
+        "a reloaded cache entry diverged from fresh simulation"
+    );
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+    let _ = std::fs::remove_file(&cache_file);
+}
+
+#[test]
+fn damaged_cache_snapshot_degrades_to_the_valid_prefix() {
+    let cache_file = test_path("damage", "journal");
+    let _ = std::fs::remove_file(&cache_file);
+
+    let (daemon, mut client) = start("damage-cold", Some(cache_file.clone()), None);
+    client
+        .submit(&campaign_job(None))
+        .expect("cold campaign succeeds");
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+
+    // Flip a byte near the end: the tail entries fail their checksums.
+    let mut bytes = std::fs::read(&cache_file).expect("snapshot readable");
+    let n = bytes.len();
+    bytes[n - 9] ^= 0x01;
+    std::fs::write(&cache_file, &bytes).expect("snapshot writable");
+
+    // The daemon must come up (valid prefix loaded, damage reported on
+    // stderr) and still serve the correct artifact — the dropped tail
+    // is simply resimulated.
+    let (daemon, mut client) = start("damage-warm", Some(cache_file.clone()), Some(1.0));
+    let result = client
+        .submit(&campaign_job(None))
+        .expect("campaign succeeds on the damaged cache");
+    assert!(
+        result
+            .get("cells_simulated")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+            > 0
+            || result
+                .get("diagnoses_simulated")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0)
+                > 0,
+        "nothing was resimulated — the damaged tail was silently kept"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("verify_failures").and_then(JsonValue::as_u64),
+        Some(0)
+    );
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+    let _ = std::fs::remove_file(&cache_file);
+}
+
+#[test]
+fn fan_out_partition_matches_the_library_partition() {
+    // The daemon's ownership rule and the library's must be the same
+    // function of the flat cell index; otherwise fan-out merges would
+    // depend on which side computed a cell. One shard job per spec,
+    // library shard run locally, reports must be equal.
+    let (daemon, mut client) = start("partition", None, None);
+    let config = campaign_job(None)
+        .campaign_config()
+        .expect("campaign jobs have a config");
+    let farm = Farm::with_workers(2);
+    for k in 0..2 {
+        let shard = ShardSpec::new(k, 2).unwrap();
+        let result = client
+            .submit(&campaign_job(Some(shard)))
+            .expect("shard campaign succeeds");
+        let from_daemon =
+            ShardReport::from_json(field(&result, "shard_json")).expect("shard report parses");
+        let local = tve::campaign::run_campaign_shard(&config, &farm, shard);
+        assert_eq!(
+            from_daemon, local,
+            "daemon and library shard {shard} differ"
+        );
+    }
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+}
