@@ -3,7 +3,15 @@
 //! the finalists — the full "test exploration and validation" loop of the
 //! paper's title, beyond the four hand-written schedules of Table I.
 //!
-//! Usage: `exploration [--power-budget N] [--scale N] [--trace [path]]`.
+//! Usage: `exploration [--power-budget N] [--scale N] [--certified]
+//! [--trace [path]]`.
+//!
+//! With `--certified` the validation pass runs through
+//! [`tve_sched::explore_certified`]: every candidate gets a certified
+//! static envelope, and candidates whose lower bound is dominated by an
+//! already-simulated incumbent are discarded with a machine-checkable
+//! proof record instead of being simulated — the printed Pareto front
+//! is identical to exhaustive validation by construction.
 //!
 //! With `--trace` (or `TVE_TRACE`) the best finalist is re-simulated with
 //! the span recorder attached and a Chrome-trace JSON is written (default
@@ -11,8 +19,12 @@
 //! winning schedule.
 
 use tve_bench::{trace_output, write_artifact};
+use tve_core::Schedule;
 use tve_obs::{check_json, write_chrome_trace, StoragePolicy};
-use tve_sched::{default_workers, estimate_tasks, explore, validate_schedules, Constraints};
+use tve_sched::{
+    default_workers, enumerate_schedules, estimate_tasks, explore, explore_certified,
+    validate_schedules, Constraints,
+};
 use tve_soc::{paper_schedules, run_scenario_traced, SocConfig, SocTestPlan};
 
 fn main() {
@@ -26,6 +38,7 @@ fn main() {
     };
     let power_budget = arg("--power-budget", 400) as u32;
     let scale = arg("--scale", 20);
+    let certified = args.iter().any(|a| a == "--certified");
 
     let config = SocConfig::paper();
     let plan = SocTestPlan::paper();
@@ -59,6 +72,38 @@ fn main() {
 
     let sim_plan = SocTestPlan::paper_scaled(scale);
     let sim_tasks = estimate_tasks(&config, &sim_plan);
+
+    if certified {
+        let mut pool: Vec<Schedule> = paper_schedules().into_iter().collect();
+        pool.extend(enumerate_schedules(&sim_tasks, &constraints, 12));
+        println!(
+            "\ncertified exploration over {} candidates (prune on static lower bounds):",
+            pool.len()
+        );
+        let report = explore_certified(&config, &sim_plan, &sim_tasks, &constraints, &pool, true);
+        assert!(
+            report.violations.is_empty(),
+            "envelope soundness violated: {:?}",
+            report.violations
+        );
+        println!(
+            "  {} candidates: {} simulated, {} pruned without simulation ({:.0}%), \
+             static analysis {:.2} ms total",
+            report.candidates.len(),
+            report.simulated(),
+            report.pruned(),
+            report.pruned_fraction() * 100.0,
+            report.analysis_ns as f64 / 1e6
+        );
+        for proof in report.proofs() {
+            println!("  {proof}");
+        }
+        println!("  certified Pareto front (identical to exhaustive by construction):");
+        for (name, cycles, power) in report.front_points() {
+            println!("    {name}: {cycles} cycles, peak power {power}");
+        }
+    }
+
     println!(
         "\nvalidating the top three by TLM simulation \
          (1/{scale} scale, farm of {} workers):",

@@ -6,16 +6,21 @@
 //! structured reports as a JSON artifact, and exits nonzero when any
 //! error-severity diagnostic is present — so CI can run it as a check.
 //!
-//! Usage: `lint [--seed-defect] [--budget P] [--json PATH]
-//! [--program PATH]... [--daemon [SOCKET]]` — `--seed-defect` adds a
-//! deliberately broken schedule and program (the walkthrough exhibits;
-//! the exit code must go nonzero), `--budget` enables the phase power
-//! check, extra `--program` files are linted alongside the embedded
-//! examples, and the artifact lands at `target/lint_report.json` by
-//! default. `--daemon [SOCKET]` asks a running `tve-serve` daemon to
-//! lint the four schedules and the production program instead (cached
-//! after the first request); the local-only knobs (`--seed-defect`,
-//! `--budget`, extra `--program` files) are rejected in that mode.
+//! Usage: `lint [--seed-defect] [--budget P] [--json PATH] [--bounds]
+//! [--bounds-json PATH] [--program PATH]... [--daemon [SOCKET]]` —
+//! `--seed-defect` adds a deliberately broken schedule and program (the
+//! walkthrough exhibits; the exit code must go nonzero), `--budget`
+//! enables the phase power check, extra `--program` files are linted
+//! alongside the embedded examples, and the artifact lands at
+//! `target/lint_report.json` by default. `--bounds` additionally
+//! computes the certified static envelopes of every linted schedule
+//! (human table plus a versioned JSON artifact, default
+//! `target/bounds_report.json`) — pure analysis, no simulation.
+//! `--daemon [SOCKET]` asks a running `tve-serve` daemon to lint the
+//! four schedules and the production program instead (cached after the
+//! first request; `--bounds` submits a daemon `bounds` job too); the
+//! local-only knobs (`--seed-defect`, `--budget`, extra `--program`
+//! files) are rejected in that mode.
 
 use std::path::{Path, PathBuf};
 
@@ -48,9 +53,13 @@ fn arg_values(args: &[String], flag: &str) -> Vec<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let seed_defect = args.iter().any(|a| a == "--seed-defect");
+    let bounds = args.iter().any(|a| a == "--bounds");
     let budget = arg_value(&args, "--budget").and_then(|s| s.parse::<f64>().ok());
     let json_path = PathBuf::from(
         arg_value(&args, "--json").unwrap_or_else(|| "target/lint_report.json".into()),
+    );
+    let bounds_path = PathBuf::from(
+        arg_value(&args, "--bounds-json").unwrap_or_else(|| "target/bounds_report.json".into()),
     );
 
     let workload = Workload::paper();
@@ -64,7 +73,12 @@ fn main() {
             );
             std::process::exit(2);
         }
-        run_via_daemon(&socket, &workload, &json_path);
+        run_via_daemon(
+            &socket,
+            &workload,
+            &json_path,
+            bounds.then_some(&bounds_path),
+        );
         return;
     }
 
@@ -121,6 +135,23 @@ fn main() {
         println!("{report}");
     }
 
+    if bounds {
+        let envelopes = tve_lint::schedule_envelopes(&config, &plan, &schedules, 0);
+        println!("\ncertified static bounds (cycle-accurate):");
+        print!("{}", tve_lint::bounds_table(&envelopes));
+        let bounds_json = tve_lint::bounds_reports_to_json(&envelopes);
+        if let Err(e) = check_json(&bounds_json) {
+            eprintln!("error: bounds JSON is not well-formed: {e}");
+            std::process::exit(2);
+        }
+        write_artifact(&bounds_path, &bounds_json);
+        println!(
+            "{} envelope(s) -> {}",
+            envelopes.len(),
+            bounds_path.display()
+        );
+    }
+
     let errors: usize = reports.iter().map(LintReport::error_count).sum();
     let warnings: usize = reports.iter().map(LintReport::warning_count).sum();
 
@@ -145,7 +176,14 @@ fn main() {
 
 /// Lints the four schedules plus the embedded production program on a
 /// running `tve-serve` daemon and writes the returned report artifact.
-fn run_via_daemon(socket: &std::path::Path, workload: &Workload, json_path: &Path) {
+/// With `bounds_path` set, a `bounds` job is submitted too and its
+/// (statically computed, simulation-free) report artifact written.
+fn run_via_daemon(
+    socket: &std::path::Path,
+    workload: &Workload,
+    json_path: &Path,
+    bounds_path: Option<&PathBuf>,
+) {
     let mut client = daemon_connect(socket);
     let job = JobSpec {
         workload: workload.clone(),
@@ -185,6 +223,37 @@ fn run_via_daemon(socket: &std::path::Path, workload: &Workload, json_path: &Pat
         count("wall_us") as f64 / 1e3,
         json_path.display()
     );
+    if let Some(bounds_path) = bounds_path {
+        let job = JobSpec {
+            workload: workload.clone(),
+            kind: JobKind::Bounds {
+                schedules: (1..=4).collect(),
+            },
+            verify: None,
+        };
+        let result = client.submit(&job).unwrap_or_else(|e| {
+            eprintln!("error: bounds failed on the daemon: {e}");
+            std::process::exit(2);
+        });
+        let report = result
+            .get("report")
+            .and_then(JsonValue::as_str)
+            .unwrap_or_else(|| {
+                eprintln!("error: daemon response carried no bounds report");
+                std::process::exit(2);
+            });
+        write_artifact(bounds_path, report);
+        println!(
+            "certified bounds via tve-serve: cached {}, {:.1} ms -> {}",
+            result.get("cached").and_then(JsonValue::as_bool) == Some(true),
+            result
+                .get("wall_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or_default() as f64
+                / 1e3,
+            bounds_path.display()
+        );
+    }
     if errors > 0 {
         eprintln!("FAIL: error-severity diagnostics present");
         std::process::exit(1);

@@ -5,6 +5,11 @@
 use std::fmt;
 use std::fmt::Write as _;
 
+/// Pinned schema version stamped into every lint JSON report so artifact
+/// consumers can detect shape drift; bump on any change to the emitted
+/// fields.
+pub const LINT_FORMAT_VERSION: u64 = 1;
+
 /// Diagnostic code constants for the non-structural checks.
 ///
 /// Structural schedule diagnostics do *not* have constants here: their
@@ -231,7 +236,8 @@ impl LintReport {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"subject\": {}, \"clean\": {}, \"diagnostics\": [",
+            "{{\"format_version\": {}, \"subject\": {}, \"clean\": {}, \"diagnostics\": [",
+            LINT_FORMAT_VERSION,
             json_string(&self.subject),
             self.clean()
         );
@@ -301,7 +307,7 @@ pub fn reports_to_json(reports: &[LintReport]) -> String {
 }
 
 /// A JSON string literal with the mandatory escapes.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {
@@ -378,6 +384,16 @@ mod tests {
         assert!(json.contains("\"line\": 3"));
         assert!(json.contains("\"clean\": true"));
         assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn json_reports_carry_the_pinned_format_version() {
+        assert_eq!(LINT_FORMAT_VERSION, 1, "bump deliberately, with the docs");
+        let single = LintReport::new("s").to_json();
+        let want = format!("\"format_version\": {LINT_FORMAT_VERSION}");
+        assert!(single.starts_with(&format!("{{{want}")), "{single}");
+        let bundle = reports_to_json(&[LintReport::new("a"), LintReport::new("b")]);
+        assert_eq!(bundle.matches(&want).count(), 2, "one stamp per report");
     }
 
     #[test]

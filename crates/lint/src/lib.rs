@@ -51,12 +51,20 @@
 //! }
 //! ```
 
+mod bounds;
 mod diag;
 mod facts;
 mod program_lint;
 mod schedule_lint;
 
-pub use diag::{codes, reports_to_json, Diagnostic, LintReport, Location, Severity};
+pub use bounds::{
+    bounds_reports_to_json, bounds_table, observe_metrics, schedule_envelope, schedule_envelopes,
+    task_bounds, EnvelopeObservables, Interval, PowerInterval, ScheduleEnvelope, TaskBounds,
+    BOUNDS_FORMAT_VERSION,
+};
+pub use diag::{
+    codes, reports_to_json, Diagnostic, LintReport, Location, Severity, LINT_FORMAT_VERSION,
+};
 pub use facts::{soc_facts, PlanFacts, TamChannel, TestFacts, WirWrite};
 pub use program_lint::lint_program;
 pub use schedule_lint::lint_schedule;

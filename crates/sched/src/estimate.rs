@@ -18,16 +18,19 @@ fn scan_task(
     chains: u32,
     chain_len: u32,
     capture: u64,
-    bus_bits_per_pattern: u64,
     bus_width: u32,
     power: u32,
     resources: Vec<Resource>,
 ) -> TestTask {
-    let per_pattern = chain_len as u64 + capture;
+    // Every chain shifts in parallel, so the wrapper needs `chain_len`
+    // cycles per pattern while the TAM moves `chains × chain_len` bits:
+    // more chains mean more data per shift cycle, and once the channel
+    // cannot keep up the test turns bus-limited.
+    let shift = chain_len as u64 + capture;
+    let bus_cycles = (u64::from(chains) * u64::from(chain_len)).div_ceil(bus_width as u64) + 1;
+    let per_pattern = shift.max(bus_cycles);
     let duration = patterns * per_pattern;
-    let bus_cycles = bus_bits_per_pattern.div_ceil(bus_width as u64) + 1;
     let share = (bus_cycles as f64 / per_pattern as f64).min(1.0);
-    let _ = chains;
     TestTask::new(name, duration.max(1), share.max(1e-6), power, resources)
 }
 
@@ -47,7 +50,6 @@ pub fn estimate_tasks(config: &SocConfig, plan: &SocTestPlan) -> Vec<TestTask> {
         config.proc_scan.chains(),
         config.proc_scan.max_chain_len(),
         cap,
-        proc_bits,
         w,
         180,
         vec![Resource::Processor],
@@ -86,7 +88,6 @@ pub fn estimate_tasks(config: &SocConfig, plan: &SocTestPlan) -> Vec<TestTask> {
         config.color_scan.chains(),
         config.color_scan.max_chain_len(),
         cap,
-        config.color_scan.bits_per_pattern(),
         w,
         90,
         vec![Resource::ColorConversion],
@@ -281,6 +282,26 @@ mod tests {
         assert!(by_name("T1").compatible_with(by_name("T5")));
         assert!(!by_name("T2").compatible_with(by_name("T5")), "ATE channel");
         assert!(!by_name("T6").compatible_with(by_name("T7")), "memory");
+    }
+
+    #[test]
+    fn estimate_responds_to_chain_count() {
+        // The paper geometry (32 × 1296 chains over a 48-bit bus) is
+        // shift-limited: 865 bus cycles fit inside the 1300-cycle shift.
+        let mut cfg = SocConfig::paper();
+        let plan = SocTestPlan::paper();
+        let base = estimate_tasks(&cfg, &plan)[0].duration;
+        assert_eq!(base, 100_000 * 1300, "paper point is unchanged");
+        // Quadruple the chain count at the same chain length: 4× the data
+        // per pattern no longer fits in the shift window, so the estimate
+        // must grow (128 × 1296 / 48 + 1 = 3457 bus cycles per pattern).
+        cfg.proc_scan = tve_tpg::ScanConfig::new(128, 1296);
+        let wide = estimate_tasks(&cfg, &plan)[0].duration;
+        assert_eq!(wide, 100_000 * 3457, "bus-limited regime");
+        assert!(wide > base);
+        // And the share saturates at 1.0 once bus-limited.
+        let t1 = &estimate_tasks(&cfg, &plan)[0];
+        assert!((t1.tam_share - 1.0).abs() < 1e-12, "{}", t1.tam_share);
     }
 
     #[test]

@@ -28,8 +28,14 @@
 //!   simulations over a worker pool (one single-threaded simulator per
 //!   worker; `TVE_JOBS` overrides the width) so exploration batches run
 //!   at hardware speed; [`validate_schedules`] and
-//!   [`explore_and_validate`] drive it.
+//!   [`explore_and_validate`] drive it,
+//! * **certified pruning** — [`explore_certified`] skips simulating any
+//!   candidate whose static lower bound
+//!   ([`tve_lint::schedule_envelope`]) is already dominated by a
+//!   simulated incumbent, emitting a [`PruneProof`] per discard while
+//!   returning the exact same Pareto front as exhaustive validation.
 
+mod certify;
 mod estimate;
 mod explore;
 pub mod farm;
@@ -38,6 +44,10 @@ mod tam_alloc;
 mod task;
 mod wrapper_design;
 
+pub use certify::{
+    enumerate_schedules, explore_certified, CertifiedCandidate, CertifiedExploreReport,
+    CertifiedOutcome, PruneProof,
+};
 pub use estimate::{estimate_schedule, estimate_tasks, PhaseEstimate, ScheduleEstimate};
 pub use explore::{
     explore, explore_and_validate, validate_schedule, validate_schedules, validate_schedules_on,

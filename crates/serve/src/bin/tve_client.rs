@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Commands: `ping`, `stats`, `shutdown`, `schedule`, `campaign`,
-//! `lint`, `status`, `result`, `invalidate`. Workload flags
+//! `lint`, `bounds`, `status`, `result`, `invalidate`. Workload flags
 //! (`--preset`, `--scale`, `--mem-words`, `--set key=value`) select
 //! what the job runs against; see `DESIGN.md` for the full protocol.
 
@@ -29,6 +29,8 @@ commands:
                              artifacts byte-identical to --fan-out 1
   lint                       static schedule (and program) lint
     [--schedules 1,2] [--program FILE] [--out FILE]
+  bounds                     certified static bound envelopes — answered
+    [--schedules 1,2] [--out FILE]   without simulation
   status    --id N           poll an async job
   result    --id N [--wait]  fetch an async job's result
   invalidate --set k=v ...   predict an edit's blast radius and evict
@@ -379,6 +381,14 @@ fn run() -> Result<(), String> {
             let kind = JobKind::Lint {
                 schedules: cli.schedules.clone().unwrap_or_else(|| (1..=4).collect()),
                 program,
+            };
+            if let Some(result) = submit(&mut client, &cli, kind)? {
+                println!("{}", render_response(&result));
+            }
+        }
+        "bounds" => {
+            let kind = JobKind::Bounds {
+                schedules: cli.schedules.clone().unwrap_or_else(|| (1..=4).collect()),
             };
             if let Some(result) = submit(&mut client, &cli, kind)? {
                 println!("{}", render_response(&result));

@@ -35,6 +35,12 @@ pub enum CachedValue {
         /// Warning-severity diagnostics.
         warnings: usize,
     },
+    /// A rendered certified static bounds report
+    /// (`bounds_reports_to_json` text) — pure analysis, no simulation.
+    Bounds {
+        /// The report JSON text for the job's schedule set.
+        report: String,
+    },
 }
 
 struct Entry {

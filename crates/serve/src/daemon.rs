@@ -28,7 +28,7 @@ use tve_soc::{paper_schedules, run_scenario, ScenarioMetrics};
 
 use crate::cache::{CachedValue, ResultCache};
 use crate::invalidate::edit_impact;
-use crate::key::{cell_key, diagnosis_key, fnv1a, lint_key, schedule_tests, test_mask};
+use crate::key::{bounds_key, cell_key, diagnosis_key, fnv1a, lint_key, schedule_tests, test_mask};
 use crate::proto::{read_frame, write_frame, JobKind, JobSpec};
 
 /// The default socket path (also the `TVE_SERVE_SOCKET` default).
@@ -442,6 +442,7 @@ fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
         JobKind::Schedule { index } => run_schedule_job(shared, job, *index),
         JobKind::Campaign { shard, .. } => run_campaign_job(shared, job, *shard),
         JobKind::Lint { schedules, program } => run_lint_job(shared, job, schedules, program),
+        JobKind::Bounds { schedules } => run_bounds_job(shared, job, schedules),
     }?;
     if !shared.quiet {
         println!(
@@ -452,6 +453,7 @@ fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
                 JobKind::Campaign { schedules, .. } =>
                     format!("campaign over {} schedules", schedules.len()),
                 JobKind::Lint { schedules, .. } => format!("lint {} schedules", schedules.len()),
+                JobKind::Bounds { schedules } => format!("bounds {} schedules", schedules.len()),
             }
         );
     }
@@ -930,6 +932,73 @@ fn run_lint_job(
 
     let mut out = format!(
         "\"kind\":\"lint\",\"errors\":{errors},\"warnings\":{warnings},\"cached\":{cached},\"report\":"
+    );
+    append_json_string(&mut out, &report);
+    Ok(out)
+}
+
+/// Serves a certified static bounds job: a pure analysis of the
+/// workload's envelopes — no farm dispatch, no simulation — rendered by
+/// the same `bounds_reports_to_json` a local `lint --bounds` run uses,
+/// so the served report is byte-identical to a local computation.
+fn run_bounds_job(
+    shared: &Shared,
+    job: &JobSpec,
+    schedule_indices: &[usize],
+) -> Result<String, String> {
+    let (config, plan) = job.workload.build();
+    let schedules = selected_schedules(schedule_indices);
+    let quantum: u64 = shared.quantum.parse().unwrap_or(0);
+    let fraction = shared.verify_fraction(job);
+    // One cache entry per job shape: key over every schedule's bounds
+    // key. The envelopes consume the whole plan, so the entry carries
+    // the full test mask.
+    let mut key_text = String::new();
+    for schedule in &schedules {
+        use std::fmt::Write;
+        let _ = write!(
+            key_text,
+            "{:#018x}|",
+            bounds_key(&config, &plan, schedule, quantum)
+        );
+    }
+    let key = fnv1a(key_text.as_bytes());
+
+    let compute = || -> String {
+        tve_lint::bounds_reports_to_json(&tve_lint::schedule_envelopes(
+            &config, &plan, &schedules, quantum,
+        ))
+    };
+
+    let (report, cached) = match shared.cache.lookup(key) {
+        Some(CachedValue::Bounds { report }) => {
+            if verify_sampled(key, fraction) {
+                let fresh = compute();
+                let ok = fresh == report;
+                shared.cache.record_verified(1, u64::from(!ok));
+                if !ok {
+                    return Err("verify-cache mismatch on bounds report".into());
+                }
+            }
+            (report, true)
+        }
+        Some(_) => return Err("cache kind mismatch (key collision?)".into()),
+        None => {
+            let report = compute();
+            shared.cache.insert(
+                key,
+                CachedValue::Bounds {
+                    report: report.clone(),
+                },
+                0x7f,
+            );
+            (report, false)
+        }
+    };
+
+    let mut out = format!(
+        "\"kind\":\"bounds\",\"schedules\":{},\"quantum\":{quantum},\"cached\":{cached},\"report\":",
+        schedules.len()
     );
     append_json_string(&mut out, &report);
     Ok(out)

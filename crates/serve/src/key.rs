@@ -148,6 +148,23 @@ pub fn lint_key(
     fnv1a(text.as_bytes())
 }
 
+/// The cache key of a certified static bounds report. The envelope
+/// consumes the full config, the full plan and the loosely-timed
+/// quantum (which legitimately moves the interval endpoints), so all
+/// three participate with no projection.
+pub fn bounds_key(
+    config: &SocConfig,
+    plan: &SocTestPlan,
+    schedule: &Schedule,
+    quantum: u64,
+) -> u64 {
+    let text = format!(
+        "bounds/v1|cfg={config:?}|plan={plan:?}|sched={}:{:?}|q={quantum}",
+        schedule.name, schedule.phases
+    );
+    fnv1a(text.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +183,24 @@ mod tests {
         let mut other_cfg = config.clone();
         other_cfg.memory_words += 1;
         assert_ne!(k, cell_key(&other_cfg, &plan, &schedules[0], "golden", ""));
+    }
+
+    #[test]
+    fn bounds_keys_cover_quantum_and_plan() {
+        let config = SocConfig::small();
+        let plan = SocTestPlan::small();
+        let schedules = paper_schedules();
+        let k = bounds_key(&config, &plan, &schedules[0], 0);
+        assert_eq!(k, bounds_key(&config, &plan, &schedules[0], 0));
+        assert_ne!(k, bounds_key(&config, &plan, &schedules[1], 0));
+        assert_ne!(k, bounds_key(&config, &plan, &schedules[0], 1024));
+        let mut edited = plan.clone();
+        edited.det_proc_patterns += 1;
+        assert_ne!(
+            k,
+            bounds_key(&config, &edited, &schedules[0], 0),
+            "bounds consume the whole plan — no projection"
+        );
     }
 
     #[test]

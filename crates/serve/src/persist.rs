@@ -297,6 +297,10 @@ fn entry_payload(key: u64, mask: u8, value: &CachedValue) -> String {
             ));
             append_json_string(&mut out, report);
         }
+        CachedValue::Bounds { report } => {
+            out.push_str("\"type\":\"bounds\",\"report\":");
+            append_json_string(&mut out, report);
+        }
     }
     out.push('}');
     out
@@ -330,6 +334,9 @@ fn entry_from_json(v: &JsonValue) -> Result<(u64, u8, CachedValue), String> {
                 .get("warnings")
                 .and_then(JsonValue::as_u64)
                 .ok_or("lint entry missing 'warnings'")? as usize,
+        },
+        Some("bounds") => CachedValue::Bounds {
+            report: want_str(v, "report", "bounds entry")?,
         },
         other => return Err(format!("unknown cache entry type {other:?}")),
     };
@@ -478,6 +485,13 @@ mod tests {
             0x7f,
         );
         cache.insert(
+            7,
+            CachedValue::Bounds {
+                report: "{\n  \"format_version\": 1,\n  \"reports\": []\n}\n".into(),
+            },
+            0x7f,
+        );
+        cache.insert(
             6,
             CachedValue::Diagnosis(Box::new(tve_campaign::DiagnosisCheck {
                 fault_id: "scan:dct:c0p1s1".into(),
@@ -497,11 +511,11 @@ mod tests {
             0,
         );
         let saved = save_cache(&cache, &path).unwrap();
-        assert_eq!(saved, 6);
+        assert_eq!(saved, 7);
 
         let restored = ResultCache::new();
         let load = load_cache(&restored, &path).unwrap();
-        assert_eq!(load.loaded, 6);
+        assert_eq!(load.loaded, 7);
         assert!(load.defect.is_none());
         for (a, b) in cache.export().iter().zip(restored.export()) {
             assert_eq!(a.0, b.0, "keys match");
@@ -512,6 +526,12 @@ mod tests {
                 assert_eq!(m.digest(), awkward_metrics().digest());
             }
             other => panic!("expected metrics, got {other:?}"),
+        }
+        match restored.peek(7) {
+            Some(CachedValue::Bounds { report }) => {
+                assert!(report.starts_with("{\n  \"format_version\": 1"));
+            }
+            other => panic!("expected bounds, got {other:?}"),
         }
         // Saving the restored cache reproduces the snapshot byte for
         // byte (host timings were already zeroed by the first save).

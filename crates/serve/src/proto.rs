@@ -102,6 +102,13 @@ pub enum JobKind {
         /// Optional `(name, text)` of an ATE program to lint too.
         program: Option<(String, String)>,
     },
+    /// Compute certified static bound envelopes for the given
+    /// schedules. Answered without any simulation (no farm dispatch)
+    /// and cached like lint.
+    Bounds {
+        /// 1-based schedule indices.
+        schedules: Vec<usize>,
+    },
 }
 
 /// Appends `workload` as a JSON object.
@@ -251,6 +258,17 @@ impl JobSpec {
                     tve_obs::append_json_string(&mut out, text);
                 }
             }
+            JobKind::Bounds { schedules } => {
+                let _ = write!(
+                    out,
+                    "\"bounds\",\"schedules\":[{}]",
+                    schedules
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
         }
         out.push_str(",\"workload\":");
         encode_workload(&self.workload, &mut out);
@@ -314,6 +332,9 @@ impl JobSpec {
                     program,
                 }
             }
+            Some("bounds") => JobKind::Bounds {
+                schedules: decode_indices(v.get("schedules"), "\"schedules\"")?,
+            },
             Some(other) => return Err(format!("unknown job kind {other:?}")),
             None => return Err("job wants a \"kind\" string".into()),
         };
@@ -431,6 +452,13 @@ mod tests {
                 },
                 verify: None,
             },
+            JobSpec {
+                workload: Workload::paper().with_scale(200),
+                kind: JobKind::Bounds {
+                    schedules: vec![2, 4],
+                },
+                verify: Some(1.0),
+            },
         ];
         for job in jobs {
             let text = job.to_json();
@@ -467,6 +495,14 @@ mod tests {
             (
                 r#"{"kind":"campaign","shard":"0/3","workload":{"preset":"small"}}"#,
                 "1-based",
+            ),
+            (
+                r#"{"kind":"bounds","schedules":[0],"workload":{"preset":"small"}}"#,
+                "1..=4",
+            ),
+            (
+                r#"{"kind":"bounds","schedules":[],"workload":{"preset":"small"}}"#,
+                "must not be empty",
             ),
         ] {
             let err = JobSpec::from_json(&parse_json(doc).unwrap()).unwrap_err();

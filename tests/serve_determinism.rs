@@ -152,6 +152,60 @@ fn cached_results_are_byte_identical_to_fresh_and_survive_verification() {
 }
 
 #[test]
+fn bounds_reports_are_byte_identical_served_or_computed_locally() {
+    let (daemon, mut client) = start("bounds", None);
+    let workload = Workload::small();
+
+    // The served report must be the exact bytes of the local pure
+    // computation: same config, plan, schedules and (accurate) quantum
+    // through the same `bounds_reports_to_json` renderer.
+    let (config, plan) = workload.build();
+    let schedules: Vec<_> = tve::soc::paper_schedules().into_iter().collect();
+    let local = tve::lint::bounds_reports_to_json(&tve::lint::schedule_envelopes(
+        &config, &plan, &schedules, 0,
+    ));
+
+    let submit = |client: &mut Client, verify| {
+        let result = client
+            .submit(&JobSpec {
+                workload: workload.clone(),
+                kind: JobKind::Bounds {
+                    schedules: vec![1, 2, 3, 4],
+                },
+                verify,
+            })
+            .expect("bounds job succeeds");
+        (
+            result
+                .get("report")
+                .and_then(JsonValue::as_str)
+                .expect("report on the wire")
+                .to_string(),
+            result.get("cached").and_then(JsonValue::as_bool) == Some(true),
+        )
+    };
+
+    let (cold, cold_cached) = submit(&mut client, None);
+    assert!(!cold_cached, "bounds hit an empty cache");
+    assert_eq!(cold, local, "served bounds differ from local computation");
+
+    // Warm repeat with verify 1.0: the daemon recomputes the hit and
+    // fails the job on any byte-level divergence.
+    let (warm, warm_cached) = submit(&mut client, Some(1.0));
+    assert!(warm_cached, "warm bounds job missed");
+    assert_eq!(warm, cold, "cached bounds differ from fresh");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("verify_failures").and_then(JsonValue::as_u64),
+        Some(0),
+        "bounds verification found divergence"
+    );
+    client.shutdown().expect("clean shutdown");
+    daemon.join().expect("daemon joins");
+}
+
+#[test]
 fn concurrent_clients_get_identical_bytes() {
     let (daemon, mut control) = start("conc", None);
     let socket = daemon.socket.clone();
