@@ -443,6 +443,7 @@ fn run_via_daemon(
             shard: None,
         },
         verify: None,
+        deadline_ms: None,
     };
     let result = client.submit(&job).unwrap_or_else(|e| {
         eprintln!("error: campaign failed on the daemon: {e}");

@@ -195,6 +195,7 @@ fn run_via_daemon(
             )),
         },
         verify: None,
+        deadline_ms: None,
     };
     let result = client.submit(&job).unwrap_or_else(|e| {
         eprintln!("error: lint failed on the daemon: {e}");
@@ -230,6 +231,7 @@ fn run_via_daemon(
                 schedules: (1..=4).collect(),
             },
             verify: None,
+            deadline_ms: None,
         };
         let result = client.submit(&job).unwrap_or_else(|e| {
             eprintln!("error: bounds failed on the daemon: {e}");

@@ -71,6 +71,7 @@ fn run_pass(
             workload: schedule_workload.clone(),
             kind: JobKind::Schedule { index },
             verify,
+            deadline_ms: None,
         };
         schedules.push(client.submit(&job).unwrap_or_else(|e| {
             eprintln!("error: schedule {index} failed on the daemon: {e}");
@@ -88,6 +89,7 @@ fn run_pass(
                 shard: None,
             },
             verify,
+            deadline_ms: None,
         })
         .unwrap_or_else(|e| {
             eprintln!("error: campaign failed on the daemon: {e}");
@@ -112,10 +114,8 @@ fn main() {
     let socket = PathBuf::from(format!("target/serve-bench-{}.sock", std::process::id()));
     let daemon = spawn(&ServeOptions {
         socket: socket.clone(),
-        workers: None,
-        verify: None,
         quiet: true,
-        cache_file: None,
+        ..ServeOptions::default()
     })
     .unwrap_or_else(|e| {
         eprintln!("error: cannot start in-process daemon: {e}");

@@ -247,6 +247,7 @@ fn run_via_daemon(socket: &std::path::Path, workload: &Workload, scale: u64) {
             workload: workload.clone(),
             kind: JobKind::Schedule { index },
             verify: None,
+            deadline_ms: None,
         };
         let result = client.submit(&job).unwrap_or_else(|e| {
             eprintln!("error: scenario {index} failed on the daemon: {e}");

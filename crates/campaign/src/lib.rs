@@ -60,7 +60,7 @@ mod wire;
 pub use engine::{apply_fault, diagnose_scan_fault, run_campaign, run_cell, CampaignConfig};
 pub use fault::{generate, FaultSpec, PopulationSpec, SCANNED_CORES};
 pub use matrix::{CampaignReport, CellOutcome, CellResult, DiagnosisCheck, PrescreenedSchedule};
-pub use resume::{run_campaign_journaled, ResumeSummary};
+pub use resume::{run_campaign_journaled, run_campaign_journaled_with_io, ResumeSummary};
 pub use sample::{
     run_guided_campaign, run_sampled_campaign, stratum_of, CoverageEstimate, SampledCampaign,
     StratumOutcome,

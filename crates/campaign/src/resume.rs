@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use tve_obs::{parse_journal, Journal, JournalDefect, JsonValue};
+use tve_obs::{parse_journal, IoPolicy, Journal, JournalDefect, JsonValue};
 use tve_sched::Farm;
 
 use crate::engine::{diagnose_scan_fault, run_cell, CampaignConfig};
@@ -209,6 +209,32 @@ pub fn run_campaign_journaled(
     shard: ShardSpec,
     path: impl AsRef<Path>,
 ) -> Result<(ShardReport, ResumeSummary), String> {
+    run_campaign_journaled_with_io(config, farm, shard, path, &IoPolicy::default())
+}
+
+/// [`run_campaign_journaled`] with journal writes routed through an
+/// explicit [`IoPolicy`].
+///
+/// This is the injectable-io seam the resilience harness uses to tear
+/// journal records *on the write path* (short write, ENOSPC) instead of
+/// truncating the file afterwards: a failed append surfaces as a typed
+/// error from this function — never a silently absorbed partial record —
+/// and the next run recovers the valid prefix.
+///
+/// # Errors
+///
+/// As [`run_campaign_journaled`], plus whatever faults `policy` injects.
+///
+/// # Panics
+///
+/// Same conditions as [`run_campaign_journaled`].
+pub fn run_campaign_journaled_with_io(
+    config: &CampaignConfig,
+    farm: &Farm,
+    shard: ShardSpec,
+    path: impl AsRef<Path>,
+    policy: &IoPolicy,
+) -> Result<(ShardReport, ResumeSummary), String> {
     let path = path.as_ref();
     let fingerprint = campaign_fingerprint(config);
     let (schedules, prescreened) = effective_schedules(config);
@@ -221,11 +247,11 @@ pub fn run_campaign_journaled(
 
     let (mut state, mut journal) = if path.exists() {
         let state = load_journal(path, fingerprint, shard, total_cells)?;
-        let journal = Journal::append_to(path)
+        let journal = Journal::append_to_with(path, policy)
             .map_err(|e| format!("cannot append to journal {}: {e}", path.display()))?;
         (state, journal)
     } else {
-        let mut journal = Journal::create(path)
+        let mut journal = Journal::create_with(path, policy)
             .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
         journal
             .append(&header_payload(fingerprint, shard, total_cells))

@@ -20,9 +20,10 @@
 //! and how many subsequent lines were dropped with it.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 
+use crate::faultio::IoPolicy;
 use crate::json::{parse_json, JsonValue};
 
 /// FNV-1a over `bytes` — the workspace's standard 64-bit digest.
@@ -35,11 +36,25 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// An append-only journal writer. Every [`append`](Journal::append) is
-/// flushed to the operating system before returning, so a `SIGKILL`
-/// between appends loses at most the record being written — which the
+/// issued as a single `write` call and flushed to the operating system
+/// before returning — flush-before-ack — so a `SIGKILL` or disk-full
+/// between appends loses at most the record being written, which the
 /// reader then detects as a truncated tail.
+///
+/// All writes route through an [`IoPolicy`] (a no-op by default), so
+/// durability tests can inject short writes and ENOSPC on the real
+/// write path instead of mutilating the file afterwards.
 pub struct Journal {
-    out: BufWriter<File>,
+    out: Box<dyn Write + Send>,
+}
+
+fn ensure_parent(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(())
 }
 
 impl Journal {
@@ -49,13 +64,18 @@ impl Journal {
     ///
     /// Propagates file-creation errors.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        if let Some(parent) = path.as_ref().parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        Self::create_with(path, &IoPolicy::default())
+    }
+
+    /// [`create`](Journal::create) with writes routed through `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create_with(path: impl AsRef<Path>, policy: &IoPolicy) -> io::Result<Self> {
+        ensure_parent(path.as_ref())?;
         Ok(Journal {
-            out: BufWriter::new(File::create(path)?),
+            out: Box::new(policy.wrap(File::create(path)?)),
         })
     }
 
@@ -65,20 +85,36 @@ impl Journal {
     ///
     /// Propagates file-open errors.
     pub fn append_to(path: impl AsRef<Path>) -> io::Result<Self> {
-        if let Some(parent) = path.as_ref().parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        Self::append_to_with(path, &IoPolicy::default())
+    }
+
+    /// [`append_to`](Journal::append_to) with writes routed through
+    /// `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn append_to_with(path: impl AsRef<Path>, policy: &IoPolicy) -> io::Result<Self> {
+        ensure_parent(path.as_ref())?;
         Ok(Journal {
-            out: BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?),
+            out: Box::new(policy.wrap(OpenOptions::new().create(true).append(true).open(path)?)),
         })
+    }
+
+    /// Wraps an arbitrary sink (tests, in-memory journals).
+    pub fn from_sink(sink: Box<dyn Write + Send>) -> Self {
+        Journal { out: sink }
     }
 
     /// Appends one record and flushes it. `payload` must be single-line
     /// JSON (the caller builds it with [`append_json_string`] and
     /// friends); a payload containing a newline is rejected because it
     /// would corrupt the line framing.
+    ///
+    /// The full `checksum payload\n` line is issued as one `write`
+    /// call, then flushed, so the record either reaches the OS whole or
+    /// the caller gets the error — there is no buffered half-record
+    /// acknowledged as written.
     ///
     /// # Errors
     ///
@@ -93,7 +129,8 @@ impl Journal {
                 "journal records must be single-line JSON",
             ));
         }
-        writeln!(self.out, "{:016x} {payload}", fnv1a(payload.as_bytes()))?;
+        let line = format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()));
+        self.out.write_all(line.as_bytes())?;
         self.out.flush()
     }
 }
@@ -302,6 +339,47 @@ mod tests {
         assert!(contents.defect.unwrap().reason.contains("not valid JSON"));
 
         assert!(parse_journal("").defect.is_none());
+    }
+
+    #[test]
+    fn short_write_injection_leaves_a_detectable_torn_tail() {
+        use crate::faultio::{IoPolicy, WriteFault};
+        let path = temp_path("shortwrite");
+        let policy = IoPolicy::new();
+        // Each append is exactly one write; tear the second record after
+        // 9 bytes (inside its checksum prefix).
+        policy.fail_nth_write(2, WriteFault::Short { keep: 9 });
+        let mut journal = Journal::create_with(&path, &policy).unwrap();
+        journal.append(r#"{"index":0}"#).unwrap();
+        let err = journal.append(r#"{"index":1}"#).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(journal);
+
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records.len(), 1, "valid prefix survives");
+        let defect = contents.defect.expect("torn tail must be reported");
+        assert_eq!(defect.line, 2);
+        assert!(defect.reason.contains("truncated"), "{defect}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enospc_injection_fails_cleanly_at_a_record_boundary() {
+        use crate::faultio::{IoPolicy, WriteFault};
+        let path = temp_path("enospc");
+        let policy = IoPolicy::new();
+        policy.fail_nth_write(2, WriteFault::Enospc);
+        let mut journal = Journal::create_with(&path, &policy).unwrap();
+        journal.append(r#"{"index":0}"#).unwrap();
+        let err = journal.append(r#"{"index":1}"#).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(journal);
+
+        // Nothing of the failed record reached the file: no defect.
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.records.len(), 1);
+        assert!(contents.defect.is_none());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

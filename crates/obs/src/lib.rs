@@ -56,17 +56,21 @@
 mod agg;
 mod chrome;
 mod csv;
+mod faultio;
 mod journal;
 mod json;
 mod metrics;
+mod ops;
 mod recorder;
 mod span;
 
 pub use agg::{earliest_span_end, utilization_from_spans, UtilizationSummary};
 pub use chrome::write_chrome_trace;
 pub use csv::{write_metrics_csv, write_spans_csv};
+pub use faultio::{FaultSink, IoPolicy, WriteFault};
 pub use journal::{fnv1a, parse_journal, read_journal, Journal, JournalContents, JournalDefect};
 pub use json::{append_json_string, check_json, parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
+pub use ops::{OpsCounters, OpsEvent, EVENT_RING};
 pub use recorder::{Recorder, StoragePolicy, TraceLog};
 pub use span::{SpanKind, SpanRecord};

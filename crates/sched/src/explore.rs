@@ -217,6 +217,8 @@ pub fn validate_schedule(
         JobError::Panicked(msg) => panic!("simulation panicked: {msg}"),
         // validate_schedules never pre-screens, so rejection cannot occur.
         JobError::Rejected(r) => unreachable!("unscreened job rejected: {r}"),
+        // …and never supervises, so no deadline can have been set.
+        JobError::Deadline { .. } => unreachable!("unsupervised job hit a deadline"),
     })
 }
 

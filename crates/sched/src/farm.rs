@@ -92,6 +92,17 @@ pub enum JobError {
     /// Static analysis rejected the job before any simulation was built
     /// ([`Farm::run_prescreened`]); the report says why.
     Rejected(LintReport),
+    /// The job was cancelled at a kernel scheduling boundary — it
+    /// overran its per-attempt deadline on every allowed attempt, or its
+    /// whole batch was cancelled externally
+    /// ([`Farm::run_supervised`](crate::SupervisePolicy)).
+    Deadline {
+        /// Per-attempt limit in milliseconds (0 when the batch was
+        /// cancelled externally rather than by a per-job deadline).
+        limit_ms: u64,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -104,6 +115,10 @@ impl fmt::Display for JobError {
                 "rejected by static analysis ({} error(s): {})",
                 report.error_count(),
                 report.codes().join(", ")
+            ),
+            JobError::Deadline { limit_ms, attempts } => write!(
+                f,
+                "deadline exceeded after {attempts} attempt(s) (per-attempt limit {limit_ms} ms)"
             ),
         }
     }

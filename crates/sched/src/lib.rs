@@ -40,6 +40,7 @@ mod estimate;
 mod explore;
 pub mod farm;
 mod packing;
+pub mod supervise;
 mod tam_alloc;
 mod task;
 mod wrapper_design;
@@ -58,6 +59,7 @@ pub use farm::{
     ScenarioJob, TracedBatch,
 };
 pub use packing::{greedy_schedule, optimal_schedule, sequential_schedule};
+pub use supervise::{ChaosFault, ChaosHook, SupervisePolicy, SuperviseStats, SupervisedError};
 pub use tam_alloc::{
     makespan_lower_bound, pack_tam, tam_width_sweep, CoreTestSpec, Placement, TamAssignment,
 };

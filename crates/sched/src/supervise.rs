@@ -1,0 +1,714 @@
+//! Supervised execution on the validation farm.
+//!
+//! [`Farm::run_map`] already turns a panicking job into a per-job error
+//! instead of a farm-wide abort. This module adds the rest of the
+//! resilience story the serving layer needs:
+//!
+//! - **Respawn** — a worker whose job panicked is considered poisoned
+//!   and retires; a supervisor (the calling thread) spawns a fresh
+//!   worker in its place while unresolved work remains.
+//! - **Retry** — a failed attempt (panic *or* deadline cancellation) is
+//!   re-queued up to a retry budget and re-executed on a fresh worker.
+//!   A permanently failing job yields its typed [`SupervisedError`],
+//!   never a hang or a hole in the batch.
+//! - **Deadlines** — each attempt may carry a wall-clock deadline. The
+//!   supervisor trips the attempt's [`CancelToken`]; the simulation
+//!   inside observes it at the next kernel scheduling boundary and
+//!   unwinds with [`Cancelled`](tve_sim::Cancelled), which is classified
+//!   as a deadline, not a panic.
+//! - **External cancellation** — a parent token (e.g. a daemon job's
+//!   deadline) cancels the whole batch: queued items resolve to
+//!   [`SupervisedError::Cancelled`] without running.
+//! - **Chaos** — a deterministic fault hook may inject a worker panic
+//!   or an artificial delay into chosen `(item, attempt)` pairs, which
+//!   is how the resilience harness proves all of the above.
+//!
+//! Results keep the farm's contract: submission order, one slot per
+//! item, bit-identical metrics for any worker count — a retried job
+//! reruns the same pure function on the same plain-data inputs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tve_obs::OpsCounters;
+use tve_sim::{with_cancel_token, CancelToken, Cancelled};
+use tve_soc::run_scenario;
+
+use crate::farm::{BatchReport, Farm, JobError, JobOutcome, ScenarioJob};
+
+/// A fault the chaos hook may inject into one `(item, attempt)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// The worker panics before running the job — the "worker killed
+    /// mid-job" scenario. The worker retires; the attempt is retried.
+    Panic,
+    /// The worker stalls for the given wall-clock duration before
+    /// running the job — the "pathologically slow worker" scenario.
+    /// With a deadline shorter than the delay, the attempt is cancelled
+    /// and retried.
+    Delay(Duration),
+}
+
+/// Deterministic fault schedule: `(item_index, attempt)` → fault.
+pub type ChaosHook = Arc<dyn Fn(usize, usize) -> Option<ChaosFault> + Send + Sync>;
+
+/// Policy for one supervised batch.
+#[derive(Clone)]
+pub struct SupervisePolicy {
+    /// Per-attempt wall-clock deadline (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Retries allowed after the first attempt (so `retry_budget + 1`
+    /// attempts total). Default 1.
+    pub retry_budget: usize,
+    /// Supervisor poll interval (deadline scan + respawn check).
+    pub poll: Duration,
+    /// Batch-level cancellation (e.g. a daemon job deadline): when this
+    /// trips, running attempts are cancelled through the token chain and
+    /// queued items resolve to [`SupervisedError::Cancelled`].
+    pub external: Option<Arc<CancelToken>>,
+    /// Deterministic fault injection for the resilience harness.
+    pub chaos: Option<ChaosHook>,
+    /// Sink for `farm.retries` / `farm.respawns` / `farm.deadline_cancels`
+    /// / `farm.chaos_injected` counters.
+    pub counters: Option<OpsCounters>,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            deadline: None,
+            retry_budget: 1,
+            poll: Duration::from_millis(1),
+            external: None,
+            chaos: None,
+            counters: None,
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// The default policy: one retry, no deadline, no chaos.
+    pub fn new() -> Self {
+        SupervisePolicy::default()
+    }
+
+    /// Sets the per-attempt deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry budget (0 = fail on first error).
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the supervisor poll interval.
+    pub fn with_poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// Attaches a batch-level cancellation token.
+    pub fn with_external(mut self, token: Arc<CancelToken>) -> Self {
+        self.external = Some(token);
+        self
+    }
+
+    /// Attaches a deterministic chaos hook.
+    pub fn with_chaos(mut self, hook: ChaosHook) -> Self {
+        self.chaos = Some(hook);
+        self
+    }
+
+    /// Attaches an ops-counter sink.
+    pub fn with_counters(mut self, counters: OpsCounters) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+}
+
+impl std::fmt::Debug for SupervisePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisePolicy")
+            .field("deadline", &self.deadline)
+            .field("retry_budget", &self.retry_budget)
+            .field("poll", &self.poll)
+            .field("external", &self.external.is_some())
+            .field("chaos", &self.chaos.is_some())
+            .finish()
+    }
+}
+
+/// Why a supervised item produced no result.
+#[derive(Debug, Clone)]
+pub enum SupervisedError {
+    /// Every allowed attempt panicked; the last payload is preserved.
+    Panicked(String),
+    /// Every allowed attempt overran the per-attempt deadline and was
+    /// cancelled at a kernel scheduling boundary.
+    Deadline {
+        /// The per-attempt limit.
+        limit: Duration,
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// The batch was cancelled externally before (or while) this item
+    /// ran.
+    Cancelled,
+}
+
+impl std::fmt::Display for SupervisedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisedError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            SupervisedError::Deadline { limit, attempts } => write!(
+                f,
+                "deadline of {} ms exceeded on all {attempts} attempt(s)",
+                limit.as_millis()
+            ),
+            SupervisedError::Cancelled => write!(f, "batch cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisedError {}
+
+/// What the supervisor had to do to finish the batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperviseStats {
+    /// Attempts re-queued after a panic or deadline cancellation.
+    pub retries: u64,
+    /// Fresh workers spawned to replace retired (poisoned) ones.
+    pub respawns: u64,
+    /// Attempts whose cancel token the supervisor tripped on deadline.
+    pub deadline_cancels: u64,
+    /// Faults the chaos hook injected.
+    pub chaos_injected: u64,
+}
+
+/// One attempt currently executing on a worker.
+struct RunningAttempt {
+    item: usize,
+    started: Instant,
+    token: Arc<CancelToken>,
+    /// Deadline already tripped (so the supervisor counts it once).
+    cancelled: bool,
+}
+
+/// Result slot for one item: filled once with the attempt duration and
+/// the item's outcome, then never rewritten.
+type Slot<R> = Mutex<Option<(Duration, Result<R, SupervisedError>)>>;
+
+struct Ctx<'a, T, R, F> {
+    items: &'a [T],
+    f: &'a F,
+    policy: &'a SupervisePolicy,
+    slots: &'a [Slot<R>],
+    /// `(item, attempt)` pairs awaiting a worker.
+    queue: Mutex<VecDeque<(usize, usize)>>,
+    running: Mutex<Vec<RunningAttempt>>,
+    /// Items whose slot is still empty.
+    unresolved: AtomicUsize,
+    /// Workers currently alive (spawned minus retired/finished).
+    live: AtomicUsize,
+    retries: AtomicU64,
+    respawns: AtomicU64,
+    deadline_cancels: AtomicU64,
+    chaos_injected: AtomicU64,
+}
+
+impl<T, R, F> Ctx<'_, T, R, F> {
+    fn external_cancelled(&self) -> bool {
+        self.policy
+            .external
+            .as_ref()
+            .is_some_and(|t| t.is_cancelled())
+    }
+
+    fn resolve(&self, item: usize, wall: Duration, result: Result<R, SupervisedError>) {
+        let mut slot = self.slots[item].lock().expect("result slot poisoned");
+        debug_assert!(slot.is_none(), "item {item} resolved twice");
+        *slot = Some((wall, result));
+        self.unresolved.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Resolves every queued (not yet running) item to `Cancelled`.
+    /// Items currently running resolve in their worker when the token
+    /// chain interrupts them.
+    fn drain_cancelled(&self) {
+        let drained: Vec<(usize, usize)> = {
+            let mut queue = self.queue.lock().expect("queue poisoned");
+            queue.drain(..).collect()
+        };
+        for (item, _) in drained {
+            self.resolve(item, Duration::ZERO, Err(SupervisedError::Cancelled));
+        }
+    }
+
+    fn count(&self, counter: &str, cell: &AtomicU64, detail: String) {
+        cell.fetch_add(1, Ordering::Relaxed);
+        if let Some(ops) = &self.policy.counters {
+            ops.note(counter, detail);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// One worker's life: pull attempts until the batch resolves, retire on
+/// the first panic hosted (the supervisor respawns a replacement).
+fn worker_loop<T, R, F>(ctx: &Ctx<'_, T, R, F>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    loop {
+        if ctx.external_cancelled() {
+            ctx.drain_cancelled();
+            break;
+        }
+        let next = ctx.queue.lock().expect("queue poisoned").pop_front();
+        let Some((item, attempt)) = next else {
+            if ctx.unresolved.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Work is still in flight elsewhere (and may be re-queued);
+            // stay available for retries.
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        };
+
+        let chaos = ctx
+            .policy
+            .chaos
+            .as_ref()
+            .and_then(|hook| hook(item, attempt));
+        if chaos.is_some() {
+            ctx.count(
+                "farm.chaos_injected",
+                &ctx.chaos_injected,
+                format!("item {item} attempt {attempt}: {chaos:?}"),
+            );
+        }
+
+        let token = match &ctx.policy.external {
+            Some(parent) => CancelToken::child(parent),
+            None => CancelToken::new(),
+        };
+        ctx.running
+            .lock()
+            .expect("running poisoned")
+            .push(RunningAttempt {
+                item,
+                started: Instant::now(),
+                token: Arc::clone(&token),
+                cancelled: false,
+            });
+
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            with_cancel_token(&token, || {
+                match chaos {
+                    Some(ChaosFault::Panic) => {
+                        std::panic::panic_any("chaos: injected worker panic".to_string())
+                    }
+                    Some(ChaosFault::Delay(d)) => {
+                        // Stall cooperatively, like a slow simulation
+                        // observing its token at scheduling boundaries.
+                        let end = Instant::now() + d;
+                        loop {
+                            if token.is_cancelled() {
+                                std::panic::panic_any(Cancelled);
+                            }
+                            let Some(left) = end.checked_duration_since(Instant::now()) else {
+                                break;
+                            };
+                            std::thread::sleep(left.min(Duration::from_millis(1)));
+                        }
+                    }
+                    None => {}
+                }
+                (ctx.f)(&ctx.items[item])
+            })
+        }));
+        let wall = started.elapsed();
+        ctx.running
+            .lock()
+            .expect("running poisoned")
+            .retain(|r| !Arc::ptr_eq(&r.token, &token));
+
+        match outcome {
+            Ok(result) => ctx.resolve(item, wall, Ok(result)),
+            Err(payload) => {
+                let was_cancel = payload.is::<Cancelled>();
+                if ctx.external_cancelled() {
+                    ctx.resolve(item, wall, Err(SupervisedError::Cancelled));
+                } else if attempt < ctx.policy.retry_budget {
+                    ctx.count(
+                        "farm.retries",
+                        &ctx.retries,
+                        format!(
+                            "item {item}: attempt {attempt} {}",
+                            if was_cancel {
+                                "deadline-cancelled"
+                            } else {
+                                "panicked"
+                            }
+                        ),
+                    );
+                    ctx.queue
+                        .lock()
+                        .expect("queue poisoned")
+                        .push_back((item, attempt + 1));
+                } else if was_cancel {
+                    ctx.resolve(
+                        item,
+                        wall,
+                        Err(SupervisedError::Deadline {
+                            limit: ctx.policy.deadline.unwrap_or(Duration::ZERO),
+                            attempts: attempt + 1,
+                        }),
+                    );
+                } else {
+                    ctx.resolve(
+                        item,
+                        wall,
+                        Err(SupervisedError::Panicked(panic_message(payload.as_ref()))),
+                    );
+                }
+                // This worker hosted an unwind: retire it. The attempt
+                // (if retried) runs on a different or freshly spawned
+                // worker.
+                ctx.live.fetch_sub(1, Ordering::AcqRel);
+                return;
+            }
+        }
+    }
+    ctx.live.fetch_sub(1, Ordering::AcqRel);
+}
+
+impl Farm {
+    /// [`Farm::run_map`] under supervision: per-attempt deadlines,
+    /// retries on a budget, worker respawn, external cancellation and
+    /// deterministic chaos injection, per `policy`.
+    ///
+    /// Returns per-item `(wall, result)` pairs in submission order (the
+    /// wall time is the last attempt's), the worker count, the batch
+    /// wall time and the supervision statistics. Every item resolves —
+    /// a permanently failing item carries its typed
+    /// [`SupervisedError`]; the batch never hangs and never returns a
+    /// hole.
+    #[allow(clippy::type_complexity)]
+    pub fn run_map_supervised<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+        policy: &SupervisePolicy,
+    ) -> (
+        Vec<(Duration, Result<R, SupervisedError>)>,
+        usize,
+        Duration,
+        SuperviseStats,
+    )
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let started = Instant::now();
+        let workers = self.workers().min(items.len()).max(1);
+        let slots: Vec<Mutex<Option<(Duration, Result<R, SupervisedError>)>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let ctx = Ctx {
+            items,
+            f: &f,
+            policy,
+            slots: &slots,
+            queue: Mutex::new((0..items.len()).map(|i| (i, 0)).collect()),
+            running: Mutex::new(Vec::new()),
+            unresolved: AtomicUsize::new(items.len()),
+            live: AtomicUsize::new(0),
+            retries: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            deadline_cancels: AtomicU64::new(0),
+            chaos_injected: AtomicU64::new(0),
+        };
+
+        std::thread::scope(|scope| {
+            ctx.live.store(workers, Ordering::Release);
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&ctx));
+            }
+            // The calling thread is the supervisor: scan deadlines,
+            // respawn retired workers, and settle external cancellation
+            // until every slot is filled.
+            while ctx.unresolved.load(Ordering::Acquire) > 0 {
+                if ctx.external_cancelled() {
+                    ctx.drain_cancelled();
+                }
+                if let Some(deadline) = policy.deadline {
+                    let mut running = ctx.running.lock().expect("running poisoned");
+                    for attempt in running.iter_mut() {
+                        if !attempt.cancelled && attempt.started.elapsed() >= deadline {
+                            attempt.token.cancel();
+                            attempt.cancelled = true;
+                            ctx.count(
+                                "farm.deadline_cancels",
+                                &ctx.deadline_cancels,
+                                format!("item {} overran {deadline:?}", attempt.item),
+                            );
+                        }
+                    }
+                }
+                // A missing worker while work is unresolved means one
+                // retired after hosting a panic: replace it.
+                let live = ctx.live.load(Ordering::Acquire);
+                if live < workers && ctx.unresolved.load(Ordering::Acquire) > 0 {
+                    for _ in live..workers {
+                        ctx.live.fetch_add(1, Ordering::AcqRel);
+                        ctx.count(
+                            "farm.respawns",
+                            &ctx.respawns,
+                            "replacing retired worker".to_string(),
+                        );
+                        scope.spawn(|| worker_loop(&ctx));
+                    }
+                }
+                std::thread::sleep(policy.poll);
+            }
+        });
+
+        let stats = SuperviseStats {
+            retries: ctx.retries.load(Ordering::Relaxed),
+            respawns: ctx.respawns.load(Ordering::Relaxed),
+            deadline_cancels: ctx.deadline_cancels.load(Ordering::Relaxed),
+            chaos_injected: ctx.chaos_injected.load(Ordering::Relaxed),
+        };
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("supervisor exits only when every slot is filled")
+            })
+            .collect();
+        (results, workers, started.elapsed(), stats)
+    }
+
+    /// [`Farm::run`] under supervision: scenario jobs with deadlines,
+    /// retries and respawn. Outcomes keep submission order; a job that
+    /// exhausts its attempts reports [`JobError::Deadline`] or
+    /// [`JobError::Panicked`] — metrics of successful jobs are
+    /// bit-identical to an unsupervised run.
+    pub fn run_supervised(
+        &self,
+        jobs: &[ScenarioJob],
+        policy: &SupervisePolicy,
+    ) -> (BatchReport, SuperviseStats) {
+        let (results, workers, wall, stats) = self.run_map_supervised(
+            jobs,
+            |job: &ScenarioJob| run_scenario(&job.config, &job.plan, &job.schedule),
+            policy,
+        );
+        let outcomes = results
+            .into_iter()
+            .enumerate()
+            .map(|(index, (job_wall, result))| JobOutcome {
+                index,
+                label: jobs[index].label.clone(),
+                wall: job_wall,
+                result: match result {
+                    Ok(Ok(metrics)) => Ok(metrics),
+                    Ok(Err(e)) => Err(JobError::Schedule(e)),
+                    Err(SupervisedError::Panicked(msg)) => Err(JobError::Panicked(msg)),
+                    Err(SupervisedError::Deadline { limit, attempts }) => Err(JobError::Deadline {
+                        limit_ms: limit.as_millis() as u64,
+                        attempts,
+                    }),
+                    Err(SupervisedError::Cancelled) => Err(JobError::Deadline {
+                        limit_ms: 0,
+                        attempts: 0,
+                    }),
+                },
+            })
+            .collect();
+        (
+            BatchReport {
+                outcomes,
+                workers,
+                wall,
+            },
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tve_soc::{paper_schedules, SocConfig, SocTestPlan};
+
+    fn mini_jobs() -> Vec<ScenarioJob> {
+        let config = SocConfig {
+            memory_words: 64,
+            ..SocConfig::small()
+        };
+        let plan = SocTestPlan::small();
+        paper_schedules()
+            .into_iter()
+            .map(|s| ScenarioJob::new(config.clone(), plan.clone(), s))
+            .collect()
+    }
+
+    fn chaos(faults: Vec<((usize, usize), ChaosFault)>) -> ChaosHook {
+        Arc::new(move |item, attempt| {
+            faults
+                .iter()
+                .find(|((i, a), _)| *i == item && *a == attempt)
+                .map(|(_, f)| *f)
+        })
+    }
+
+    #[test]
+    fn injected_panic_is_retried_and_results_match_unsupervised() {
+        tve_sim::silence_cancelled_panics();
+        let jobs = mini_jobs();
+        let clean = Farm::with_workers(2).run(&jobs);
+        let policy = SupervisePolicy::new()
+            .with_chaos(chaos(vec![((1, 0), ChaosFault::Panic)]))
+            .with_retry_budget(1);
+        let (report, stats) = Farm::with_workers(2).run_supervised(&jobs, &policy);
+        assert!(report.all_ok(), "retry must heal a single injected fault");
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.chaos_injected, 1);
+        for (a, b) in clean.outcomes.iter().zip(&report.outcomes) {
+            assert_eq!(
+                a.expect_metrics().digest(),
+                b.expect_metrics().digest(),
+                "job '{}' diverged under supervision",
+                a.label
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_failure_is_typed_not_a_hang() {
+        let farm = Farm::with_workers(2);
+        let items = [0u32, 1, 2, 3];
+        let policy = SupervisePolicy::new().with_retry_budget(2);
+        let (results, _, _, stats) = farm.run_map_supervised(
+            &items,
+            |&n| {
+                if n == 2 {
+                    panic!("always broken");
+                }
+                n * 10
+            },
+            &policy,
+        );
+        assert_eq!(results.len(), 4, "no holes in the batch");
+        assert_eq!(results[0].1.as_ref().unwrap(), &0);
+        assert_eq!(results[1].1.as_ref().unwrap(), &10);
+        match &results[2].1 {
+            Err(SupervisedError::Panicked(msg)) => assert!(msg.contains("always broken")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(results[3].1.as_ref().unwrap(), &30);
+        // First attempt + 2 retries, all failed.
+        assert_eq!(stats.retries, 2);
+        // Each hosted panic retires a worker; replacements were spawned.
+        assert!(stats.respawns >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn slow_worker_is_deadline_cancelled_then_retried() {
+        tve_sim::silence_cancelled_panics();
+        let farm = Farm::with_workers(2);
+        let items = [1u32, 2, 3];
+        let policy = SupervisePolicy::new()
+            .with_deadline(Duration::from_millis(40))
+            .with_retry_budget(1)
+            .with_chaos(chaos(vec![(
+                (1, 0),
+                ChaosFault::Delay(Duration::from_secs(5)),
+            )]));
+        let started = Instant::now();
+        let (results, _, _, stats) = farm.run_map_supervised(&items, |&n| n * 10, &policy);
+        assert!(results.iter().all(|(_, r)| r.is_ok()), "retry must heal");
+        assert_eq!(results[1].1.as_ref().unwrap(), &20);
+        assert!(stats.deadline_cancels >= 1, "stats: {stats:?}");
+        assert_eq!(stats.retries, 1);
+        // The 5 s stall was cancelled, not waited out.
+        assert!(started.elapsed() < Duration::from_secs(4));
+    }
+
+    #[test]
+    fn simulation_overrunning_deadline_reports_typed_deadline_error() {
+        tve_sim::silence_cancelled_panics();
+        // A real kernel run large enough to exceed a tiny deadline: the
+        // cancellation lands at a scheduling boundary, not mid-poll.
+        let config = SocConfig::paper();
+        let plan = SocTestPlan::paper();
+        let schedule = paper_schedules().into_iter().next().unwrap();
+        let jobs = vec![ScenarioJob::new(config, plan, schedule)];
+        let policy = SupervisePolicy::new()
+            .with_deadline(Duration::from_millis(1))
+            .with_retry_budget(0)
+            .with_poll(Duration::from_micros(200));
+        let started = Instant::now();
+        let (report, stats) = Farm::with_workers(1).run_supervised(&jobs, &policy);
+        match &report.outcomes[0].result {
+            Err(JobError::Deadline { attempts, .. }) => assert_eq!(*attempts, 1),
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert!(stats.deadline_cancels >= 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "cancellation must not wait for the full simulation"
+        );
+    }
+
+    #[test]
+    fn external_cancellation_resolves_everything_quickly() {
+        tve_sim::silence_cancelled_panics();
+        let farm = Farm::with_workers(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u32> = (0..64).collect();
+        let policy = SupervisePolicy::new().with_external(token);
+        let (results, _, _, _) = farm.run_map_supervised(&items, |&n| n, &policy);
+        assert_eq!(results.len(), 64);
+        assert!(results
+            .iter()
+            .all(|(_, r)| matches!(r, Err(SupervisedError::Cancelled))));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_supervised_results() {
+        tve_sim::silence_cancelled_panics();
+        let jobs = mini_jobs();
+        let hook = chaos(vec![
+            ((0, 0), ChaosFault::Panic),
+            ((2, 0), ChaosFault::Panic),
+        ]);
+        let policy = SupervisePolicy::new().with_chaos(hook).with_retry_budget(1);
+        let (one, _) = Farm::with_workers(1).run_supervised(&jobs, &policy);
+        let (many, _) = Farm::with_workers(8).run_supervised(&jobs, &policy);
+        assert!(one.all_ok() && many.all_ok());
+        for (a, b) in one.outcomes.iter().zip(&many.outcomes) {
+            assert_eq!(a.expect_metrics().digest(), b.expect_metrics().digest());
+        }
+    }
+}

@@ -13,7 +13,9 @@ use std::process::ExitCode;
 
 use tve_campaign::{merge_shards, ShardReport, ShardSpec};
 use tve_obs::JsonValue;
-use tve_serve::{render_response, Client, JobKind, JobSpec};
+use tve_serve::{
+    render_response, request_with_retry, submit_with_retry, Client, JobKind, JobSpec, RetryPolicy,
+};
 use tve_soc::{PlanOverrides, Workload, WorkloadPreset};
 
 const USAGE: &str = "usage: tve-client [--socket PATH] <command> [flags]
@@ -21,6 +23,8 @@ commands:
   ping                       round-trip the daemon
   stats                      cache/serving statistics
   shutdown                   stop the daemon cleanly
+  drain                      SIGTERM equivalent: finish running jobs,
+                             persist the cache, refuse new submissions
   schedule  --index N        run one Table-I schedule fault-free
   campaign                   run a fault campaign
     [--schedules 1,3] [--faults N] [--seed S] [--no-diagnosis]
@@ -43,6 +47,12 @@ job flags:
   --verify F                 re-execute cache hits with probability F
   --no-wait                  submit async; prints the job id
   --out FILE                 also write the result JSON to FILE
+  --deadline MS              per-job deadline; overruns are cancelled at
+                             the next kernel quantum and reported typed
+robustness flags:
+  --retries N                retry transport failures and overloaded
+                             rejections with seeded exponential backoff
+  --retry-seed S             backoff jitter seed (deterministic)
 ";
 
 struct Cli {
@@ -66,6 +76,27 @@ struct Cli {
     wait: bool,
     no_wait: bool,
     fan_out: Option<usize>,
+    deadline_ms: Option<u64>,
+    retries: u32,
+    retry_seed: Option<u64>,
+}
+
+impl Cli {
+    /// The retry policy when `--retries` was given; `None` keeps the
+    /// legacy fail-fast behaviour.
+    fn retry_policy(&self) -> Option<RetryPolicy> {
+        if self.retries == 0 {
+            return None;
+        }
+        let mut policy = RetryPolicy {
+            retries: self.retries,
+            ..RetryPolicy::default()
+        };
+        if let Some(seed) = self.retry_seed {
+            policy.seed = seed;
+        }
+        Some(policy)
+    }
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -91,6 +122,9 @@ fn parse_cli() -> Result<Cli, String> {
         wait: false,
         no_wait: false,
         fan_out: None,
+        deadline_ms: None,
+        retries: 0,
+        retry_seed: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -188,6 +222,27 @@ fn parse_cli() -> Result<Cli, String> {
                 }
                 cli.fan_out = Some(n);
             }
+            "--deadline" => {
+                let ms: u64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if ms == 0 {
+                    return Err("--deadline wants a positive millisecond count".into());
+                }
+                cli.deadline_ms = Some(ms);
+            }
+            "--retries" => {
+                cli.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--retry-seed" => {
+                cli.retry_seed = Some(
+                    value("--retry-seed")?
+                        .parse()
+                        .map_err(|e| format!("--retry-seed: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -235,13 +290,17 @@ fn submit(client: &mut Client, cli: &Cli, kind: JobKind) -> Result<Option<JsonVa
         workload: workload(cli),
         kind,
         verify: cli.verify,
+        deadline_ms: cli.deadline_ms,
     };
     if cli.no_wait {
         let id = client.submit_async(&job)?;
         println!("{{\"id\":{id},\"state\":\"running\"}}");
         return Ok(None);
     }
-    let result = client.submit(&job)?;
+    let result = match cli.retry_policy() {
+        Some(policy) => submit_with_retry(&cli.socket, &job, &policy).map_err(|e| e.to_string())?,
+        None => client.submit(&job)?,
+    };
     write_out(&cli.out, &render_response(&result), "result")?;
     Ok(Some(result))
 }
@@ -265,6 +324,7 @@ fn fan_out_campaign(
         workload: workload(cli),
         kind,
         verify: cli.verify,
+        deadline_ms: cli.deadline_ms,
     };
     // The client rebuilds the campaign configuration exactly as the
     // daemon does (same JobSpec::campaign_config), so the local merge
@@ -289,7 +349,18 @@ fn fan_out_campaign(
 
     let mut reports = Vec::with_capacity(count);
     for id in ids {
-        let response = client.result(id, true)?;
+        // Result polling is idempotent, so a dropped or corrupted
+        // response frame can be retried on a fresh connection without
+        // resubmitting the shard.
+        let response = match cli.retry_policy() {
+            Some(policy) => request_with_retry(
+                &cli.socket,
+                &format!("{{\"cmd\":\"result\",\"id\":{id},\"wait\":true}}"),
+                &policy,
+            )
+            .map_err(|e| e.to_string())?,
+            None => client.result(id, true)?,
+        };
         let result = response
             .get("result")
             .ok_or_else(|| format!("job {id} finished without a result object"))?;
@@ -329,11 +400,22 @@ fn run() -> Result<(), String> {
     let mut client = Client::connect(&cli.socket)
         .map_err(|e| format!("cannot connect to {}: {e}", cli.socket))?;
     match command.as_str() {
-        "ping" => println!("{}", render_response(&client.ping()?)),
+        "ping" => {
+            let response = match cli.retry_policy() {
+                Some(policy) => request_with_retry(&cli.socket, "{\"cmd\":\"ping\"}", &policy)
+                    .map_err(|e| e.to_string())?,
+                None => client.ping()?,
+            };
+            println!("{}", render_response(&response));
+        }
         "stats" => println!("{}", render_response(&client.stats()?)),
         "shutdown" => {
             client.shutdown()?;
             println!("{{\"ok\":true}}");
+        }
+        "drain" => {
+            client.drain()?;
+            println!("{{\"ok\":true,\"draining\":true}}");
         }
         "schedule" => {
             let index = cli.index.ok_or("schedule wants --index N (1..=4)")?;

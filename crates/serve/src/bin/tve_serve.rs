@@ -8,7 +8,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tve_serve::{serve, ServeOptions};
+use tve_serve::{install_sigterm_drain, serve, ServeOptions};
 
 const USAGE: &str = "usage: tve-serve [options]
   --socket PATH        listen here (default target/tve-serve.sock,
@@ -18,7 +18,19 @@ const USAGE: &str = "usage: tve-serve [options]
                        in [0, 1] and require bit-identical results
   --cache-file PATH    load the result cache from PATH on start and
                        persist it there on clean shutdown
+  --max-running N      admission run cap (default 2)
+  --max-queue N        admission queue bound before shedding (default 8)
+  --cost-cap NS       shed campaign submissions whose certified cost
+                       estimate would push committed load past NS
+  --deadline-ms MS     default per-job deadline (jobs may override)
+  --retries N          supervised-farm retry budget for panicked or
+                       deadline-cancelled worker attempts (default 1)
+  --read-timeout-ms MS per-connection read timeout (default 30000)
+  --chaos SPEC         deterministic fault injection, e.g.
+                       worker-panic@1,frame-corrupt@2,snapshot-enospc@1
   --quiet              suppress per-request logging
+SIGTERM drains gracefully: running jobs finish, the cache snapshot is
+persisted, new submissions are refused with a typed error.
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +66,46 @@ fn main() -> ExitCode {
                     options.verify = Some(fraction);
                 }
                 "--cache-file" => options.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+                "--max-running" => {
+                    options.max_running = value("--max-running")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--max-running: {e}"))?
+                        .max(1)
+                }
+                "--max-queue" => {
+                    options.max_queue = value("--max-queue")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--max-queue: {e}"))?
+                }
+                "--cost-cap" => {
+                    let cap = value("--cost-cap")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--cost-cap: {e}"))?;
+                    if cap <= 0.0 {
+                        return Err("--cost-cap wants a positive number".into());
+                    }
+                    options.cost_cap = cap;
+                }
+                "--deadline-ms" => {
+                    options.deadline_ms = Some(
+                        value("--deadline-ms")?
+                            .parse::<u64>()
+                            .map_err(|e| format!("--deadline-ms: {e}"))?
+                            .max(1),
+                    )
+                }
+                "--retries" => {
+                    options.retries = value("--retries")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--retries: {e}"))?
+                }
+                "--read-timeout-ms" => {
+                    options.read_timeout_ms = value("--read-timeout-ms")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--read-timeout-ms: {e}"))?
+                        .max(1)
+                }
+                "--chaos" => options.chaos = value("--chaos")?,
                 "--quiet" => options.quiet = true,
                 "--help" | "-h" => {
                     print!("{USAGE}");
@@ -69,6 +121,8 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    options.watch_signals = true;
+    install_sigterm_drain();
     match serve(&options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -8,28 +8,53 @@
 //! exactly as it governs the batch bins — and results are
 //! byte-identical for any worker count, which is what makes caching
 //! across clients sound.
+//!
+//! ## Fault tolerance
+//!
+//! Every submission passes [`Admission`] (bounded queue, priority
+//! quotas, cost-cap shedding — see `admission.rs`), runs under a
+//! per-job [`CancelToken`] with an optional deadline watcher, and fans
+//! out through the *supervised* farm
+//! ([`Farm::run_map_supervised`](tve_sched::Farm::run_map_supervised)):
+//! a panicked or deadline-cancelled worker attempt is retried on a
+//! fresh worker within a retry budget, and a permanent failure comes
+//! back as a typed error — never a hang, never a hole in the batch.
+//! SIGTERM (or the `drain` command) starts a graceful drain: running
+//! jobs finish, the cache snapshot is persisted atomically, new
+//! submissions are refused with a typed `draining` error. The `--chaos`
+//! spec (`chaos.rs`) injects worker, frame, and snapshot faults at
+//! deterministic occurrence counts so all of the above is provable.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tve_campaign::{
     campaign_fingerprint, diagnose_scan_fault, run_cell, CampaignReport, CellOutcome, CellResult,
     FaultSpec, ShardReport, ShardSpec,
 };
 use tve_core::Schedule;
-use tve_obs::{append_json_string, parse_json, JsonValue};
-use tve_sched::Farm;
+use tve_obs::{append_json_string, parse_json, IoPolicy, JsonValue, OpsCounters, WriteFault};
+use tve_sched::{ChaosFault, ChaosHook, Farm, SupervisePolicy, SupervisedError};
+use tve_sim::{silence_cancelled_panics, with_cancel_token, CancelToken, Cancelled};
 use tve_soc::{paper_schedules, run_scenario, ScenarioMetrics};
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::cache::{CachedValue, ResultCache};
+use crate::chaos::{ChaosSite, ChaosSpec};
+use crate::error::ServeError;
 use crate::invalidate::edit_impact;
 use crate::key::{bounds_key, cell_key, diagnosis_key, fnv1a, lint_key, schedule_tests, test_mask};
 use crate::proto::{read_frame, write_frame, JobKind, JobSpec};
+
+/// Per-item timed results from a supervised farm map, with permanent
+/// worker failures degraded to per-item error strings.
+type TimedResults<R> = Vec<(Duration, Result<R, String>)>;
 
 /// The default socket path (also the `TVE_SERVE_SOCKET` default).
 pub const DEFAULT_SOCKET: &str = "target/tve-serve.sock";
@@ -52,6 +77,28 @@ pub struct ServeOptions {
     /// state survives restarts, and `--verify-cache 1.0` after a
     /// restart proves it bit for bit.
     pub cache_file: Option<PathBuf>,
+    /// Maximum jobs executing concurrently (admission run cap).
+    pub max_running: usize,
+    /// Maximum jobs waiting for a run slot before shedding.
+    pub max_queue: usize,
+    /// Cost-cap shedding threshold in simulated ns (`f64::INFINITY`
+    /// disables it); see `admission.rs`.
+    pub cost_cap: f64,
+    /// Daemon-wide default per-job deadline. A job's own `deadline_ms`
+    /// overrides it.
+    pub deadline_ms: Option<u64>,
+    /// Supervised-farm retry budget: a panicked or deadline-cancelled
+    /// worker attempt is retried this many times on a fresh worker.
+    pub retries: usize,
+    /// Per-connection read timeout: an idle or wedged client is
+    /// disconnected instead of pinning a connection thread forever.
+    pub read_timeout_ms: u64,
+    /// Chaos spec (`site@N[=ARG],...` — see `chaos.rs`), empty = none.
+    pub chaos: String,
+    /// Poll the process-global SIGTERM flag (`signal.rs`) in the accept
+    /// loop. Only the daemon binary sets this; in-process daemons drain
+    /// via the `drain` command.
+    pub watch_signals: bool,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +111,14 @@ impl Default for ServeOptions {
             verify: None,
             quiet: false,
             cache_file: None,
+            max_running: 2,
+            max_queue: 8,
+            cost_cap: f64::INFINITY,
+            deadline_ms: None,
+            retries: 1,
+            read_timeout_ms: 30_000,
+            chaos: String::new(),
+            watch_signals: false,
         }
     }
 }
@@ -71,7 +126,7 @@ impl Default for ServeOptions {
 enum JobState {
     Running,
     Done(String),
-    Failed(String),
+    Failed(ServeError),
 }
 
 #[derive(Default)]
@@ -93,11 +148,166 @@ struct Shared {
     shutdown: AtomicBool,
     started: Instant,
     requests: AtomicU64,
+    admission: Admission,
+    ops: OpsCounters,
+    chaos: ChaosSpec,
+    /// Set once the drain decision is made (accept loop).
+    draining: AtomicBool,
+    /// Set by the `drain` protocol command; the accept loop acts on it.
+    drain_requested: AtomicBool,
+    /// Recent panic payloads from job / connection threads (bounded),
+    /// surfaced through the `stats` response.
+    panics: Mutex<Vec<String>>,
+    deadline_ms: Option<u64>,
+    retries: usize,
+    read_timeout: Duration,
+    watch_signals: bool,
+}
+
+/// Per-job execution context: the cancellation token every kernel built
+/// on this job's threads (and every supervised farm worker) observes,
+/// plus the effective deadline.
+struct JobCtx {
+    token: Arc<CancelToken>,
+    deadline: Option<Duration>,
 }
 
 impl Shared {
     fn verify_fraction(&self, job: &JobSpec) -> f64 {
         job.verify.or(self.verify).unwrap_or(0.0)
+    }
+
+    fn record_panic(&self, message: &str) {
+        self.ops.note("jobs.panicked", message);
+        let mut panics = self.panics.lock().expect("panic log lock");
+        if panics.len() >= 32 {
+            panics.remove(0);
+        }
+        panics.push(message.to_string());
+    }
+
+    /// The supervised-farm chaos hook: consults the daemon chaos spec
+    /// once per *first* attempt, so a retry runs clean — which is
+    /// exactly the fault model "this worker died, a fresh one works".
+    fn chaos_hook(self: &Arc<Self>) -> Option<ChaosHook> {
+        if self.chaos.is_empty() {
+            return None;
+        }
+        let shared = Arc::clone(self);
+        Some(Arc::new(move |_item, attempt| {
+            if attempt > 0 {
+                return None;
+            }
+            if shared.chaos.fire(ChaosSite::WorkerPanic).is_some() {
+                return Some(ChaosFault::Panic);
+            }
+            if let Some(ms) = shared.chaos.fire(ChaosSite::WorkerSlow) {
+                return Some(ChaosFault::Delay(Duration::from_millis(ms)));
+            }
+            None
+        }))
+    }
+
+    /// Runs a farm map under supervision: worker panics are retried
+    /// within the daemon retry budget (a permanent failure degrades to
+    /// a per-item error, same shape as the unsupervised farm), and a
+    /// job-deadline cancellation surfaces as a typed deadline error.
+    fn farm_map_supervised<T, R, F>(
+        self: &Arc<Self>,
+        ctx: &JobCtx,
+        items: &[T],
+        f: F,
+    ) -> Result<TimedResults<R>, ServeError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let mut policy = SupervisePolicy::default()
+            .with_retry_budget(self.retries)
+            .with_external(Arc::clone(&ctx.token))
+            .with_counters(self.ops.clone());
+        if let Some(hook) = self.chaos_hook() {
+            policy = policy.with_chaos(hook);
+        }
+        let (results, _, _, _) = self.farm.run_map_supervised(items, f, &policy);
+        let mut out = Vec::with_capacity(results.len());
+        for (wall, result) in results {
+            match result {
+                Ok(value) => out.push((wall, Ok(value))),
+                Err(SupervisedError::Panicked(message)) => out.push((wall, Err(message))),
+                Err(SupervisedError::Deadline { .. }) | Err(SupervisedError::Cancelled) => {
+                    return Err(deadline_error(ctx))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn deadline_error(ctx: &JobCtx) -> ServeError {
+    match ctx.deadline {
+        Some(limit) => ServeError::deadline(format!(
+            "job cancelled after exceeding its {} ms deadline",
+            limit.as_millis()
+        )),
+        None => ServeError::deadline("job cancelled"),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("non-string panic payload")
+        .to_string()
+}
+
+/// Watches one job's deadline on a helper thread; cancels the job token
+/// when it fires. Drop (job finished) stops the watcher promptly.
+struct DeadlineWatch {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineWatch {
+    fn spawn(token: Arc<CancelToken>, limit: Duration) -> DeadlineWatch {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let inner = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("tve-serve-deadline".into())
+            .spawn(move || {
+                let (lock, cv) = &*inner;
+                let deadline = Instant::now() + limit;
+                let mut done = lock.lock().expect("deadline watch lock");
+                while !*done {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        token.cancel();
+                        return;
+                    }
+                    let (next, _) = cv
+                        .wait_timeout(done, deadline - now)
+                        .expect("deadline watch lock (condvar)");
+                    done = next;
+                }
+            })
+            .expect("spawn deadline watcher");
+        DeadlineWatch {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for DeadlineWatch {
+    fn drop(&mut self) {
+        *self.stop.0.lock().expect("deadline watch lock") = true;
+        self.stop.1.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
     }
 }
 
@@ -126,15 +336,22 @@ pub struct DaemonHandle {
 }
 
 impl DaemonHandle {
-    /// Waits for the daemon to exit (send `shutdown` first).
+    /// Waits for the daemon to exit (send `shutdown` first). A panic on
+    /// the daemon thread is reported with its payload preserved, not
+    /// collapsed into a generic message.
     pub fn join(self) -> io::Result<()> {
-        self.thread
-            .join()
-            .map_err(|_| io::Error::other("daemon thread panicked"))?
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(payload) => Err(io::Error::other(format!(
+                "daemon thread panicked: {}",
+                payload_message(payload.as_ref())
+            ))),
+        }
     }
 }
 
-/// Binds and serves until a `shutdown` request arrives. Blocking.
+/// Binds and serves until a `shutdown` request arrives or a drain
+/// completes. Blocking.
 pub fn serve(options: &ServeOptions) -> io::Result<()> {
     let (listener, shared) = bind(options)?;
     accept_loop(listener, shared)
@@ -152,6 +369,9 @@ pub fn spawn(options: &ServeOptions) -> io::Result<DaemonHandle> {
 }
 
 fn bind(options: &ServeOptions) -> io::Result<(UnixListener, Arc<Shared>)> {
+    silence_cancelled_panics();
+    let chaos = ChaosSpec::parse(&options.chaos)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     if options.socket.exists() {
         std::fs::remove_file(&options.socket)?;
     }
@@ -201,6 +421,20 @@ fn bind(options: &ServeOptions) -> io::Result<(UnixListener, Arc<Shared>)> {
         shutdown: AtomicBool::new(false),
         started: Instant::now(),
         requests: AtomicU64::new(0),
+        admission: Admission::new(AdmissionConfig {
+            max_running: options.max_running.max(1),
+            max_queue: options.max_queue,
+            cost_cap: options.cost_cap,
+        }),
+        ops: OpsCounters::new(),
+        chaos,
+        draining: AtomicBool::new(false),
+        drain_requested: AtomicBool::new(false),
+        panics: Mutex::new(Vec::new()),
+        deadline_ms: options.deadline_ms,
+        retries: options.retries,
+        read_timeout: Duration::from_millis(options.read_timeout_ms.max(1)),
+        watch_signals: options.watch_signals,
     });
     if !options.quiet {
         println!(
@@ -215,26 +449,96 @@ fn bind(options: &ServeOptions) -> io::Result<(UnixListener, Arc<Shared>)> {
 }
 
 fn accept_loop(listener: UnixListener, shared: Arc<Shared>) -> io::Result<()> {
-    for stream in listener.incoming() {
+    listener.set_nonblocking(true)?;
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let stream = stream?;
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("tve-serve-conn".into())
-            .spawn(move || {
-                let _ = handle_connection(stream, &shared);
-            })?;
+        if !shared.draining.load(Ordering::SeqCst)
+            && (shared.drain_requested.load(Ordering::SeqCst)
+                || (shared.watch_signals && crate::signal::drain_requested()))
+        {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.admission.drain();
+            shared.ops.note(
+                "drain.requested",
+                "finishing running jobs, refusing new submissions",
+            );
+            if !shared.quiet {
+                println!("tve-serve: draining — finishing running jobs, refusing new submissions");
+            }
+        }
+        if shared.draining.load(Ordering::SeqCst) && shared.admission.idle() {
+            // Give in-flight response writes a beat to flush before the
+            // socket goes away.
+            std::thread::sleep(Duration::from_millis(50));
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(shared.read_timeout));
+                let conn_shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("tve-serve-conn".into())
+                    .spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = handle_connection(stream, &conn_shared);
+                        }));
+                        if let Err(payload) = result {
+                            conn_shared.record_panic(&format!(
+                                "connection thread panicked: {}",
+                                payload_message(payload.as_ref())
+                            ));
+                        }
+                    })?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
+    teardown(&shared)
+}
+
+fn teardown(shared: &Arc<Shared>) -> io::Result<()> {
     let _ = std::fs::remove_file(&shared.socket);
     if let Some(path) = &shared.cache_file {
-        let written = crate::persist::save_cache(&shared.cache, path)?;
-        if !shared.quiet {
-            println!(
-                "tve-serve: persisted {written} cached results to {}",
-                path.display()
+        // The snapshot chaos sites model the disk filling up mid-write:
+        // the atomic tmp-and-rename in `save_cache_with` must leave the
+        // previous snapshot intact either way.
+        let policy = IoPolicy::new();
+        if let Some(keep) = shared.chaos.fire(ChaosSite::SnapshotShortWrite) {
+            policy.fail_nth_write(
+                2,
+                WriteFault::Short {
+                    keep: keep as usize,
+                },
             );
+        } else if shared.chaos.fire(ChaosSite::SnapshotEnospc).is_some() {
+            policy.fail_nth_write(2, WriteFault::Enospc);
+        }
+        match crate::persist::save_cache_with(&shared.cache, path, &policy) {
+            Ok(written) => {
+                if !shared.quiet {
+                    println!(
+                        "tve-serve: persisted {written} cached results to {}",
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                shared.ops.note(
+                    "snapshot.failed",
+                    format!("cache snapshot {}: {e}", path.display()),
+                );
+                eprintln!(
+                    "tve-serve: cache snapshot failed ({e}); previous snapshot at {} kept",
+                    path.display()
+                );
+            }
         }
     }
     if !shared.quiet {
@@ -248,34 +552,110 @@ fn accept_loop(listener: UnixListener, shared: Arc<Shared>) -> io::Result<()> {
 }
 
 fn handle_connection(mut stream: UnixStream, shared: &Arc<Shared>) -> io::Result<()> {
-    while let Some(text) = read_frame(&mut stream)? {
+    loop {
+        let text = match read_frame(&mut stream) {
+            Ok(Some(text)) => text,
+            Ok(None) => break,
+            // Read timeout: an idle or wedged client does not get to pin
+            // a connection thread forever.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.ops.incr("conn.read_timeout");
+                break;
+            }
+            // A malformed frame (oversized length prefix, non-UTF-8
+            // payload) earns one typed protocol error, then the
+            // connection closes — the framing is unrecoverable.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.ops.incr("conn.bad_frame");
+                let err = ServeError::protocol(format!("bad frame: {e}"));
+                let _ = write_frame(&mut stream, &err.render());
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         shared.requests.fetch_add(1, Ordering::SeqCst);
         let response = match dispatch(&text, shared) {
             Ok(body) => body,
-            Err(message) => {
-                let mut out = String::from("{\"ok\":false,\"error\":");
-                append_json_string(&mut out, &message);
-                out.push('}');
-                out
+            Err(err) => {
+                shared.ops.incr(&format!("errors.{}", err.kind.as_str()));
+                err.render()
             }
         };
-        write_frame(&mut stream, &response)?;
+        if !write_response(&mut stream, shared, &response)? {
+            break;
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
-            // Wake the acceptor so the daemon can exit its blocking
-            // accept and tear the socket down.
-            let _ = UnixStream::connect(&shared.socket);
             break;
         }
     }
     Ok(())
 }
 
-fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
-    let request = parse_json(text).map_err(|e| format!("bad request: {e}"))?;
+/// Writes one response frame, with the connection-level chaos sites in
+/// the path. Returns whether the connection should stay open.
+fn write_response(stream: &mut UnixStream, shared: &Shared, response: &str) -> io::Result<bool> {
+    if !shared.chaos.is_empty() {
+        if shared.chaos.fire(ChaosSite::Disconnect).is_some() {
+            shared.ops.incr("chaos.disconnect");
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Ok(false);
+        }
+        if shared.chaos.fire(ChaosSite::FrameCorrupt).is_some() {
+            shared.ops.incr("chaos.frame_corrupt");
+            use std::io::Write;
+            // An impossible length prefix: the client's `read_frame`
+            // rejects it as a protocol error rather than waiting on
+            // bytes that will never come.
+            let _ = stream.write_all(&u32::MAX.to_le_bytes());
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Ok(false);
+        }
+    }
+    write_frame(stream, response)?;
+    Ok(true)
+}
+
+/// Static cost estimate for admission control: the summed upper bound
+/// of the job's certified bounds envelopes, in simulated ns — no
+/// simulation, just the `tve-lint` interval analysis. Campaigns scale by
+/// their cell count (population × one golden pass).
+fn estimate_cost(job: &JobSpec, quantum: &str) -> Option<f64> {
+    let quantum: u64 = quantum.parse().unwrap_or(0);
+    match &job.kind {
+        JobKind::Lint { .. } | JobKind::Bounds { .. } => None,
+        JobKind::Schedule { index } => {
+            let (config, plan) = job.workload.build();
+            let schedules = selected_schedules(&[*index]);
+            let envelopes = tve_lint::schedule_envelopes(&config, &plan, &schedules, quantum);
+            Some(envelopes.iter().map(|e| e.total.hi as f64).sum())
+        }
+        JobKind::Campaign { .. } => {
+            let campaign = job.campaign_config()?;
+            let envelopes = tve_lint::schedule_envelopes(
+                &campaign.soc,
+                &campaign.plan,
+                &campaign.schedules,
+                quantum,
+            );
+            let per_pass: f64 = envelopes.iter().map(|e| e.total.hi as f64).sum();
+            Some(per_pass * (campaign.population.len() as f64 + 1.0))
+        }
+    }
+}
+
+fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, ServeError> {
+    let request =
+        parse_json(text).map_err(|e| ServeError::protocol(format!("bad request: {e}")))?;
     let cmd = request
         .get("cmd")
         .and_then(JsonValue::as_str)
-        .ok_or("request wants a \"cmd\" string")?;
+        .ok_or_else(|| ServeError::protocol("request wants a \"cmd\" string"))?;
     match cmd {
         "ping" => Ok(format!(
             "{{\"ok\":true,\"pid\":{},\"workers\":{},\"quantum\":\"{}\"}}",
@@ -288,12 +668,40 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
             shared.shutdown.store(true, Ordering::SeqCst);
             Ok("{\"ok\":true}".into())
         }
+        "drain" => {
+            shared.drain_requested.store(true, Ordering::SeqCst);
+            Ok("{\"ok\":true,\"draining\":true}".into())
+        }
         "submit" => {
-            let job = JobSpec::from_json(request.get("job").ok_or("submit wants a \"job\"")?)?;
+            let job = JobSpec::from_json(
+                request
+                    .get("job")
+                    .ok_or_else(|| ServeError::protocol("submit wants a \"job\""))?,
+            )
+            .map_err(ServeError::protocol)?;
+            if shared.draining.load(Ordering::SeqCst)
+                || shared.drain_requested.load(Ordering::SeqCst)
+            {
+                return Err(ServeError::draining(
+                    "daemon is draining; new submissions are refused",
+                ));
+            }
             let wait = request
                 .get("wait")
                 .and_then(JsonValue::as_bool)
                 .unwrap_or(true);
+            let cost = estimate_cost(&job, &shared.quantum);
+            let ticket = shared
+                .admission
+                .admit(job.priority(), cost)
+                .map_err(|shed| {
+                    shared.ops.note("admission.shed", shed.reason.clone());
+                    if shed.draining {
+                        ServeError::draining(shed.reason)
+                    } else {
+                        ServeError::overloaded(shed.reason, shed.retry_after_ms)
+                    }
+                })?;
             let id = {
                 let mut table = shared.jobs.lock().expect("job table lock");
                 table.next_id += 1;
@@ -302,7 +710,8 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
                 id
             };
             if wait {
-                let result = execute(shared, &job);
+                let result = execute_guarded(shared, &job);
+                drop(ticket);
                 finish_job(shared, id, &result);
                 let body = result?;
                 Ok(format!("{{\"ok\":true,\"id\":{id},\"result\":{body}}}"))
@@ -311,10 +720,11 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
                 std::thread::Builder::new()
                     .name(format!("tve-serve-job-{id}"))
                     .spawn(move || {
-                        let result = execute(&job_shared, &job);
+                        let result = execute_guarded(&job_shared, &job);
+                        drop(ticket);
                         finish_job(&job_shared, id, &result);
                     })
-                    .map_err(|e| format!("cannot spawn job thread: {e}"))?;
+                    .map_err(|e| ServeError::internal(format!("cannot spawn job thread: {e}")))?;
                 Ok(format!("{{\"ok\":true,\"id\":{id},\"state\":\"running\"}}"))
             }
         }
@@ -322,7 +732,7 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
             let id = request
                 .get("id")
                 .and_then(JsonValue::as_u64)
-                .ok_or("wants an \"id\"")?;
+                .ok_or_else(|| ServeError::protocol("wants an \"id\""))?;
             let wait = cmd == "result"
                 && request
                     .get("wait")
@@ -338,14 +748,15 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
                 }
             }
             match table.jobs.get(&id) {
-                None => Err(format!("unknown job id {id}")),
+                None => Err(ServeError::protocol(format!("unknown job id {id}"))),
                 Some(JobState::Running) => {
                     Ok(format!("{{\"ok\":true,\"id\":{id},\"state\":\"running\"}}"))
                 }
-                Some(JobState::Failed(message)) => {
+                Some(JobState::Failed(error)) => {
                     let mut out =
                         format!("{{\"ok\":true,\"id\":{id},\"state\":\"failed\",\"error\":");
-                    append_json_string(&mut out, message);
+                    append_json_string(&mut out, &error.message);
+                    out.push_str(&format!(",\"error_kind\":\"{}\"", error.kind.as_str()));
                     out.push('}');
                     Ok(out)
                 }
@@ -364,11 +775,15 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
             let workload = crate::proto::decode_workload(
                 request
                     .get("workload")
-                    .ok_or("invalidate wants a \"workload\"")?,
-            )?;
+                    .ok_or_else(|| ServeError::protocol("invalidate wants a \"workload\""))?,
+            )
+            .map_err(ServeError::protocol)?;
             let edit = crate::proto::decode_overrides(
-                request.get("edit").ok_or("invalidate wants an \"edit\"")?,
-            )?;
+                request
+                    .get("edit")
+                    .ok_or_else(|| ServeError::protocol("invalidate wants an \"edit\""))?,
+            )
+            .map_err(ServeError::protocol)?;
             let (config, plan) = workload.build();
             let facts = tve_lint::soc_facts(&config, &plan);
             let impact = edit_impact(&facts, &edit, &paper_schedules());
@@ -398,15 +813,15 @@ fn dispatch(text: &str, shared: &Arc<Shared>) -> Result<String, String> {
             out.push_str("]}");
             Ok(out)
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(ServeError::protocol(format!("unknown command {other:?}"))),
     }
 }
 
-fn finish_job(shared: &Shared, id: u64, result: &Result<String, String>) {
+fn finish_job(shared: &Shared, id: u64, result: &Result<String, ServeError>) {
     let mut table = shared.jobs.lock().expect("job table lock");
     let state = match result {
         Ok(body) => JobState::Done(body.clone()),
-        Err(message) => JobState::Failed(message.clone()),
+        Err(error) => JobState::Failed(error.clone()),
     };
     table.jobs.insert(id, state);
     shared.jobs_cv.notify_all();
@@ -415,10 +830,13 @@ fn finish_job(shared: &Shared, id: u64, result: &Result<String, String>) {
 fn stats_response(shared: &Shared) -> String {
     let stats = shared.cache.stats();
     let jobs = shared.jobs.lock().expect("job table lock").jobs.len();
-    format!(
+    let (running, queued, admitted, shed) = shared.admission.depth();
+    let panics = shared.panics.lock().expect("panic log lock");
+    let mut out = format!(
         "{{\"ok\":true,\"entries\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6},\
          \"evicted\":{},\"verified\":{},\"verify_failures\":{},\"jobs\":{jobs},\
-         \"uptime_ms\":{},\"workers\":{}}}",
+         \"uptime_ms\":{},\"workers\":{},\"running\":{running},\"queued\":{queued},\
+         \"admitted\":{admitted},\"shed\":{shed},\"draining\":{},\"panics\":{}",
         stats.entries,
         stats.hits,
         stats.misses,
@@ -427,8 +845,20 @@ fn stats_response(shared: &Shared) -> String {
         stats.verified,
         stats.verify_failures,
         shared.started.elapsed().as_millis(),
-        shared.farm.workers()
-    )
+        shared.farm.workers(),
+        shared.draining.load(Ordering::SeqCst) || shared.drain_requested.load(Ordering::SeqCst),
+        panics.len()
+    );
+    if let Some(last) = panics.last() {
+        out.push_str(",\"last_panic\":");
+        append_json_string(&mut out, last);
+    }
+    out.push_str(",\"ops\":");
+    out.push_str(&shared.ops.to_json());
+    out.push_str(",\"chaos\":");
+    out.push_str(&shared.chaos.counters_json());
+    out.push('}');
+    out
 }
 
 fn selected_schedules(indices: &[usize]) -> Vec<Schedule> {
@@ -436,14 +866,46 @@ fn selected_schedules(indices: &[usize]) -> Vec<Schedule> {
     indices.iter().map(|&i| all[i - 1].clone()).collect()
 }
 
-fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
+/// Executes one job under its guard rails: a per-job [`CancelToken`]
+/// installed thread-locally (every [`tve_sim::Kernel`] built while it is
+/// current observes it at each scheduling boundary), a deadline watcher
+/// that cancels the token, and a panic boundary that preserves payloads
+/// into the panic log instead of killing the connection thread.
+fn execute_guarded(shared: &Arc<Shared>, job: &JobSpec) -> Result<String, ServeError> {
+    let deadline_ms = job.deadline_ms.or(shared.deadline_ms);
+    let ctx = JobCtx {
+        token: CancelToken::new(),
+        deadline: deadline_ms.map(Duration::from_millis),
+    };
+    let _watch = ctx
+        .deadline
+        .map(|limit| DeadlineWatch::spawn(Arc::clone(&ctx.token), limit));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        with_cancel_token(&ctx.token, || execute(shared, job, &ctx))
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            if payload.is::<Cancelled>() || ctx.token.is_cancelled() {
+                shared.ops.incr("jobs.deadline_cancelled");
+                Err(deadline_error(&ctx))
+            } else {
+                let message = payload_message(payload.as_ref());
+                shared.record_panic(&format!("job panicked: {message}"));
+                Err(ServeError::internal(format!("job panicked: {message}")))
+            }
+        }
+    }
+}
+
+fn execute(shared: &Arc<Shared>, job: &JobSpec, ctx: &JobCtx) -> Result<String, ServeError> {
     let started = Instant::now();
     let body = match &job.kind {
-        JobKind::Schedule { index } => run_schedule_job(shared, job, *index),
-        JobKind::Campaign { shard, .. } => run_campaign_job(shared, job, *shard),
-        JobKind::Lint { schedules, program } => run_lint_job(shared, job, schedules, program),
-        JobKind::Bounds { schedules } => run_bounds_job(shared, job, schedules),
-    }?;
+        JobKind::Schedule { index } => run_schedule_job(shared, job, *index)?,
+        JobKind::Campaign { shard, .. } => run_campaign_job(shared, job, ctx, *shard)?,
+        JobKind::Lint { schedules, program } => run_lint_job(shared, job, schedules, program)?,
+        JobKind::Bounds { schedules } => run_bounds_job(shared, job, schedules)?,
+    };
     if !shared.quiet {
         println!(
             "tve-serve: job done in {:.1} ms ({})",
@@ -463,7 +925,8 @@ fn execute(shared: &Shared, job: &JobSpec) -> Result<String, String> {
 }
 
 /// Runs or serves one fault-free schedule; body fields only (caller
-/// wraps the braces and appends timing).
+/// wraps the braces and appends timing). Runs on the job thread, so the
+/// job token covers its kernels directly.
 fn run_schedule_job(shared: &Shared, job: &JobSpec, index: usize) -> Result<String, String> {
     let (config, plan) = job.workload.build();
     let schedule = selected_schedules(&[index]).remove(0);
@@ -515,10 +978,11 @@ fn run_schedule_job(shared: &Shared, job: &JobSpec, index: usize) -> Result<Stri
 }
 
 fn run_campaign_job(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     job: &JobSpec,
+    ctx: &JobCtx,
     shard: Option<ShardSpec>,
-) -> Result<String, String> {
+) -> Result<String, ServeError> {
     // The one canonical construction (shared with merging clients):
     // equal job fields mean an equal matrix on both ends of the socket.
     let campaign = job
@@ -554,9 +1018,9 @@ fn run_campaign_job(
     }
     let goldens_simulated = golden_missing.len();
     if !golden_missing.is_empty() {
-        let (results, _, _) = shared.farm.run_map(&golden_missing, |schedule| {
+        let results = shared.farm_map_supervised(ctx, &golden_missing, |schedule| {
             run_scenario(&config, &plan, schedule).map_err(|e| e.to_string())
-        });
+        })?;
         for (schedule, (_, result)) in golden_missing.iter().zip(results) {
             let metrics = result
                 .map_err(|panic| format!("golden run of '{}' panicked: {panic}", schedule.name))?
@@ -565,7 +1029,8 @@ fn run_campaign_job(
                 return Err(format!(
                     "golden run of '{}' reported errors: {}",
                     schedule.name, metrics.result
-                ));
+                )
+                .into());
             }
             let key = cell_key(&config, &plan, schedule, "golden", &shared.quantum);
             shared.cache.insert(
@@ -583,9 +1048,9 @@ fn run_campaign_job(
         .map(|&i| schedules[i].clone())
         .collect();
     if !golden_to_verify.is_empty() {
-        let (results, _, _) = shared.farm.run_map(&golden_to_verify, |schedule| {
+        let results = shared.farm_map_supervised(ctx, &golden_to_verify, |schedule| {
             run_scenario(&config, &plan, schedule).map_err(|e| e.to_string())
-        });
+        })?;
         for (schedule, (_, result)) in golden_to_verify.iter().zip(results) {
             verified += 1;
             let fresh_digest = match result {
@@ -636,7 +1101,7 @@ fn run_campaign_job(
     }
     let cells_simulated = missing.len();
     if !missing.is_empty() {
-        let (results, _, _) = shared.farm.run_map(&missing, |&(_, fi, si)| {
+        let results = shared.farm_map_supervised(ctx, &missing, |&(_, fi, si)| {
             run_cell(
                 &config,
                 &plan,
@@ -644,7 +1109,7 @@ fn run_campaign_job(
                 &population[fi],
                 &golden[&schedules[si].name],
             )
-        });
+        })?;
         for (&(ci, fi, si), (_, result)) in missing.iter().zip(results) {
             let outcome =
                 result.unwrap_or_else(|panic_msg| CellOutcome::InfraFailure { error: panic_msg });
@@ -664,7 +1129,7 @@ fn run_campaign_job(
         .map(|&ci| (ci, cells[ci].0, cells[ci].1))
         .collect();
     if !cells_to_verify.is_empty() {
-        let (results, _, _) = shared.farm.run_map(&cells_to_verify, |&(_, fi, si)| {
+        let results = shared.farm_map_supervised(ctx, &cells_to_verify, |&(_, fi, si)| {
             run_cell(
                 &config,
                 &plan,
@@ -672,7 +1137,7 @@ fn run_campaign_job(
                 &population[fi],
                 &golden[&schedules[si].name],
             )
-        });
+        })?;
         for (&(ci, fi, _), (_, result)) in cells_to_verify.iter().zip(results) {
             verified += 1;
             let fresh =
@@ -735,12 +1200,12 @@ fn run_campaign_job(
         }
         diagnoses_simulated = diag_missing.len();
         if !diag_missing.is_empty() {
-            let (checks, _, _) = shared.farm.run_map(&diag_missing, |(_, fault)| {
+            let checks = shared.farm_map_supervised(ctx, &diag_missing, |(_, fault)| {
                 let FaultSpec::ScanCell { core, cell } = fault else {
                     unreachable!("filtered to scan faults");
                 };
                 diagnose_scan_fault(&campaign, *core, *cell)
-            });
+            })?;
             for ((i, fault), (_, check)) in diag_missing.iter().zip(checks) {
                 let check = check.map_err(|panic| format!("diagnosis panicked: {panic}"))?;
                 let key = diagnosis_key(
@@ -770,7 +1235,8 @@ fn run_campaign_job(
             "verify-cache mismatch on {} of {verified} sampled hits: {}",
             verify_failures.len(),
             verify_failures.join(", ")
-        ));
+        )
+        .into());
     }
 
     // Shard jobs answer with a mergeable shard report instead of the

@@ -1,4 +1,7 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `#[allow(unsafe_code)]` lives in
+// `signal.rs` — a single `extern "C"` call to `signal(2)` so SIGTERM can
+// flip the drain flag. Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # tve-serve — validation as a service
@@ -41,21 +44,31 @@
 //! request/response catalogue. Everything is built on the workspace's
 //! serde-free JSON in `tve-obs` — no new dependencies.
 
+mod admission;
 mod cache;
+mod chaos;
 mod client;
 mod daemon;
+mod error;
 mod invalidate;
 mod key;
 mod persist;
 mod proto;
+mod signal;
 
+pub use admission::{Admission, AdmissionConfig, Shed, Ticket};
 pub use cache::{CacheStats, CachedValue, ResultCache};
-pub use client::{render_response, Client};
+pub use chaos::{ChaosSite, ChaosSpec};
+pub use client::{
+    render_response, request_with_retry, submit_with_retry, Client, DaemonError, RetryPolicy,
+};
 pub use daemon::{serve, spawn, DaemonHandle, ServeOptions, DEFAULT_SOCKET};
+pub use error::{ErrorKind, ServeError};
 pub use invalidate::{edit_impact, EditImpact};
 pub use key::{
     bounds_key, cell_key, diagnosis_key, fnv1a, lint_key, plan_projection, schedule_tests,
     test_mask,
 };
-pub use persist::{load_cache, save_cache, CacheLoad};
+pub use persist::{load_cache, save_cache, save_cache_with, CacheLoad};
 pub use proto::{read_frame, write_frame, JobKind, JobSpec, MAX_FRAME};
+pub use signal::{drain_requested, install_sigterm_drain, request_drain};

@@ -16,7 +16,7 @@ use std::path::Path;
 
 use tve_campaign::{diagnosis_from_json, diagnosis_to_json, CellOutcome};
 use tve_core::{TestOutcome, TestSlot};
-use tve_obs::{append_json_string, read_journal, Journal, JournalDefect, JsonValue};
+use tve_obs::{append_json_string, read_journal, IoPolicy, Journal, JournalDefect, JsonValue};
 use tve_sim::Time;
 use tve_soc::{PowerSummary, ScenarioMetrics};
 
@@ -350,12 +350,35 @@ fn entry_from_json(v: &JsonValue) -> Result<(u64, u8, CachedValue), String> {
 ///
 /// Filesystem errors only; every entry is serializable.
 pub fn save_cache(cache: &ResultCache, path: &Path) -> io::Result<usize> {
+    save_cache_with(cache, path, &IoPolicy::new())
+}
+
+/// [`save_cache`] through an injectable [`IoPolicy`], written atomically:
+/// the snapshot lands in `<path>.tmp` first and is renamed over `path`
+/// only after every record (and the flush) succeeded. A write fault —
+/// injected or real ENOSPC — therefore never tears an existing snapshot:
+/// the torn temp file is removed and the previous snapshot survives.
+///
+/// # Errors
+///
+/// Filesystem errors (including injected ones); every entry is
+/// serializable.
+pub fn save_cache_with(cache: &ResultCache, path: &Path, policy: &IoPolicy) -> io::Result<usize> {
     let entries = cache.export();
-    let mut journal = Journal::create(path)?;
-    journal.append("{\"kind\":\"tve-serve-cache\",\"version\":1}")?;
-    for (key, mask, value) in &entries {
-        journal.append(&entry_payload(*key, *mask, value))?;
+    let tmp = path.with_extension("tmp");
+    let write_all = || -> io::Result<()> {
+        let mut journal = Journal::create_with(&tmp, policy)?;
+        journal.append("{\"kind\":\"tve-serve-cache\",\"version\":1}")?;
+        for (key, mask, value) in &entries {
+            journal.append(&entry_payload(*key, *mask, value))?;
+        }
+        Ok(())
+    };
+    if let Err(e) = write_all() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
+    std::fs::rename(&tmp, path)?;
     Ok(entries.len())
 }
 
@@ -544,6 +567,38 @@ mod tests {
         // The first snapshot serialized live metrics (nonzero cpu) but
         // cpu is not persisted, so both snapshots must agree.
         assert_eq!(a, b, "snapshots are canonical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_never_tears_an_existing_snapshot() {
+        let dir = std::env::temp_dir().join(format!("tve-persist-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.journal");
+
+        let cache = ResultCache::new();
+        cache.insert(1, CachedValue::Cell(CellOutcome::Escape), 0);
+        save_cache(&cache, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        // Grow the cache, then tear the re-save mid-record: disk fills
+        // after 9 bytes of the second record.
+        cache.insert(2, CachedValue::Cell(CellOutcome::Escape), 0);
+        let policy = IoPolicy::new();
+        policy.fail_nth_write(2, tve_obs::WriteFault::Short { keep: 9 });
+        let err = save_cache_with(&cache, &path, &policy).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+
+        // The previous snapshot is intact and the temp file is gone.
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        assert!(!path.with_extension("tmp").exists());
+        let load = load_cache(&ResultCache::new(), &path).unwrap();
+        assert_eq!(load.loaded, 1);
+        assert!(load.defect.is_none());
+
+        // A clean retry (disk recovered) succeeds atomically.
+        let saved = save_cache_with(&cache, &path, &IoPolicy::new()).unwrap();
+        assert_eq!(saved, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

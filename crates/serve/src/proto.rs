@@ -68,6 +68,10 @@ pub struct JobSpec {
     /// hit is re-executed with this probability and the results must
     /// match bit for bit.
     pub verify: Option<f64>,
+    /// Wall-clock deadline for the job in milliseconds. An overrunning
+    /// job is cancelled at the next kernel scheduling boundary and
+    /// reported as a typed `deadline` error — never a partial result.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The job kinds the daemon serves.
@@ -275,6 +279,9 @@ impl JobSpec {
         if let Some(fraction) = self.verify {
             let _ = write!(out, ",\"verify\":{fraction}");
         }
+        if let Some(deadline) = self.deadline_ms {
+            let _ = write!(out, ",\"deadline_ms\":{deadline}");
+        }
         out.push('}');
         out
     }
@@ -288,6 +295,14 @@ impl JobSpec {
                 f.as_f64()
                     .filter(|f| (0.0..=1.0).contains(f))
                     .ok_or("\"verify\" wants a fraction in [0, 1]")?,
+            ),
+        };
+        let deadline_ms = match v.get("deadline_ms") {
+            None => None,
+            Some(d) => Some(
+                d.as_u64()
+                    .filter(|&d| d > 0)
+                    .ok_or("\"deadline_ms\" wants a positive integer")?,
             ),
         };
         let kind = match v.get("kind").and_then(JsonValue::as_str) {
@@ -342,7 +357,19 @@ impl JobSpec {
             workload,
             kind,
             verify,
+            deadline_ms,
         })
+    }
+
+    /// Admission priority: 0 (interactive static analysis) runs ahead
+    /// of 1 (single schedule runs) ahead of 2 (campaign shards). Lower
+    /// is more urgent; the admission queue orders by `(priority, seq)`.
+    pub fn priority(&self) -> u8 {
+        match &self.kind {
+            JobKind::Lint { .. } | JobKind::Bounds { .. } => 0,
+            JobKind::Schedule { .. } => 1,
+            JobKind::Campaign { .. } => 2,
+        }
     }
 
     /// The exact [`CampaignConfig`] a campaign job runs against, or
@@ -421,6 +448,7 @@ mod tests {
                 workload: Workload::small().with_mem_words(64),
                 kind: JobKind::Schedule { index: 2 },
                 verify: Some(1.0),
+                deadline_ms: Some(2500),
             },
             JobSpec {
                 workload: Workload::small().with_overrides(overrides),
@@ -432,6 +460,7 @@ mod tests {
                     shard: None,
                 },
                 verify: None,
+                deadline_ms: None,
             },
             JobSpec {
                 workload: Workload::small(),
@@ -443,6 +472,7 @@ mod tests {
                     shard: Some(ShardSpec::new(1, 3).unwrap()),
                 },
                 verify: None,
+                deadline_ms: None,
             },
             JobSpec {
                 workload: Workload::paper().with_scale(100),
@@ -451,6 +481,7 @@ mod tests {
                     program: Some(("prog.tvp".into(), "test \"t1\"\n".into())),
                 },
                 verify: None,
+                deadline_ms: None,
             },
             JobSpec {
                 workload: Workload::paper().with_scale(200),
@@ -458,6 +489,7 @@ mod tests {
                     schedules: vec![2, 4],
                 },
                 verify: Some(1.0),
+                deadline_ms: None,
             },
         ];
         for job in jobs {
@@ -503,6 +535,10 @@ mod tests {
             (
                 r#"{"kind":"bounds","schedules":[],"workload":{"preset":"small"}}"#,
                 "must not be empty",
+            ),
+            (
+                r#"{"kind":"schedule","schedule":1,"workload":{"preset":"small"},"deadline_ms":0}"#,
+                "positive",
             ),
         ] {
             let err = JobSpec::from_json(&parse_json(doc).unwrap()).unwrap_err();

@@ -122,6 +122,9 @@ pub(crate) struct Kernel {
     /// Testing knob: max timers fired per batch before re-entering the
     /// poll loop (`usize::MAX` = drain whole bucket).
     batch_limit: Cell<usize>,
+    /// Cancellation token captured from the thread at construction (see
+    /// [`crate::with_cancel_token`]); `None` for uncancellable sims.
+    cancel: Option<Arc<crate::CancelToken>>,
 }
 
 impl Kernel {
@@ -144,7 +147,18 @@ impl Kernel {
             }),
             quantum: Cell::new(0),
             batch_limit: Cell::new(usize::MAX),
+            cancel: crate::cancel::current_token(),
         })
+    }
+
+    /// Unwinds with [`crate::Cancelled`] if the kernel's token has been
+    /// tripped. Called once per scheduling boundary in the run loop.
+    fn check_cancelled(&self) {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                std::panic::panic_any(crate::Cancelled);
+            }
+        }
     }
 
     pub(crate) fn now(&self) -> u64 {
@@ -821,6 +835,7 @@ impl Simulation {
     /// (unless `horizon` is [`Time::MAX`], which is treated as "no limit").
     pub fn run_until(&mut self, horizon: Time) -> Time {
         loop {
+            self.kernel.check_cancelled();
             self.kernel.drain_ready();
             if !self.kernel.advance(horizon.cycles()) {
                 break;

@@ -37,6 +37,7 @@
 //! ```
 
 mod arena;
+mod cancel;
 mod event;
 mod executor;
 mod sync;
@@ -45,6 +46,7 @@ mod trace;
 mod vcd;
 mod waitq;
 
+pub use cancel::{silence_cancelled_panics, with_cancel_token, CancelToken, Cancelled};
 pub use event::Event;
 pub use executor::{JoinHandle, SimHandle, Simulation, SpawnId};
 pub use sync::{Fifo, Semaphore, Signal};

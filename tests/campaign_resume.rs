@@ -11,9 +11,10 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use tve::campaign::{
-    generate, merge_shards, run_campaign, run_campaign_journaled, CampaignConfig, PopulationSpec,
-    ShardSpec,
+    generate, merge_shards, run_campaign, run_campaign_journaled, run_campaign_journaled_with_io,
+    CampaignConfig, PopulationSpec, ShardSpec,
 };
+use tve::obs::{IoPolicy, WriteFault};
 use tve::sched::Farm;
 use tve::soc::{paper_schedules, SocConfig, SocTestPlan};
 
@@ -160,22 +161,36 @@ fn bit_flipped_record_is_reported_and_resimulated() {
 }
 
 #[test]
-fn truncated_record_is_reported_and_resimulated() {
-    let (config, journal, csv, _) = completed_journal("trunc");
-    let bytes = std::fs::read(&journal).expect("journal readable");
-    // Cut mid-record, as a crash during a write would.
-    std::fs::write(&journal, &bytes[..bytes.len() - 7]).expect("journal writable");
-
+fn short_write_torn_tail_is_reported_and_resimulated() {
+    let journal = temp_journal("shortwrite");
+    let _ = std::fs::remove_file(&journal);
+    let config = config();
     let farm = Farm::with_workers(2);
+
+    // Tear the record on the write path, not by editing the file
+    // afterwards: the 4th journal append (header plus two cells land
+    // intact) stops 10 bytes in, and every write after it fails with
+    // `StorageFull` — exactly what a full disk mid-append looks like.
+    // The failed append must surface as an error from the run.
+    let policy = IoPolicy::new();
+    policy.fail_nth_write(4, WriteFault::Short { keep: 10 });
+    let err = run_campaign_journaled_with_io(&config, &farm, ShardSpec::full(), &journal, &policy)
+        .expect_err("a torn append must fail the run, not be absorbed");
+    assert!(err.contains("journal"), "untyped journal error: {err}");
+
+    // The journal on disk now ends mid-record. A clean rerun must
+    // report the torn tail as a defect, keep the intact prefix,
+    // resimulate the rest, and produce the exact artifact of an
+    // uninterrupted run.
     let (report, resume) =
         run_campaign_journaled(&config, &farm, ShardSpec::full(), &journal).expect("resume");
-    let defect = resume.defect.expect("truncation must be reported");
-    assert_eq!(defect.dropped, 1, "exactly the cut record was dropped");
-    // The cut record is the journal's last — a cell or a diagnosis
-    // check — and exactly that one is resimulated.
-    assert_eq!(resume.simulated_cells + resume.simulated_diagnosis, 1);
+    let defect = resume.defect.expect("torn tail must be reported");
+    assert_eq!(defect.dropped, 1, "exactly the torn record was dropped");
+    assert_eq!(resume.resumed_cells, 2, "the intact prefix must survive");
     let merged = merge_shards(&config, &[report]).expect("full shard merges");
-    assert_eq!(merged.to_csv(), csv, "artifact differs after truncation");
+    let baseline = run_campaign(&config, &farm);
+    assert_eq!(merged.to_csv(), baseline.to_csv(), "artifact differs");
+    assert_eq!(merged.to_json(), baseline.to_json(), "artifact differs");
     let _ = std::fs::remove_file(&journal);
 }
 

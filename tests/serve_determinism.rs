@@ -22,9 +22,8 @@ fn start(tag: &str, workers: Option<usize>) -> (tve::serve::DaemonHandle, Client
     let daemon = spawn(&ServeOptions {
         socket: test_socket(tag),
         workers,
-        verify: None,
         quiet: true,
-        cache_file: None,
+        ..ServeOptions::default()
     })
     .expect("daemon spawns");
     let client = Client::connect(&daemon.socket).expect("client connects");
@@ -37,6 +36,7 @@ fn schedule_digest(client: &mut Client, workload: &Workload, index: usize) -> (S
             workload: workload.clone(),
             kind: JobKind::Schedule { index },
             verify: None,
+            deadline_ms: None,
         })
         .expect("schedule job succeeds");
     (
@@ -61,6 +61,7 @@ fn campaign_artifacts(client: &mut Client, workload: &Workload) -> (String, Stri
                 shard: None,
             },
             verify: None,
+            deadline_ms: None,
         })
         .expect("campaign job succeeds");
     let field = |key: &str| {
@@ -117,6 +118,7 @@ fn cached_results_are_byte_identical_to_fresh_and_survive_verification() {
                 workload: workload.clone(),
                 kind: JobKind::Schedule { index: i + 1 },
                 verify: Some(1.0),
+                deadline_ms: None,
             })
             .expect("verified warm job succeeds");
         assert_eq!(
@@ -173,6 +175,7 @@ fn bounds_reports_are_byte_identical_served_or_computed_locally() {
                     schedules: vec![1, 2, 3, 4],
                 },
                 verify,
+                deadline_ms: None,
             })
             .expect("bounds job succeeds");
         (

@@ -23,6 +23,7 @@ fn start(tag: &str, cache_file: Option<PathBuf>, verify: Option<f64>) -> (Daemon
         verify,
         quiet: true,
         cache_file,
+        ..ServeOptions::default()
     })
     .expect("daemon spawns");
     let client = Client::connect(&daemon.socket).expect("client connects");
@@ -40,6 +41,7 @@ fn campaign_job(shard: Option<ShardSpec>) -> JobSpec {
             shard,
         },
         verify: None,
+        deadline_ms: None,
     }
 }
 
